@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure (or one ablation) of the paper's
+evaluation.  The suite favours short simulated windows so the whole
+directory runs in a few minutes; pass ``--benchmark-only`` to pytest to
+run it, and use ``sharper-bench <figure> --full`` for fuller curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_figure
+from repro.bench.reporting import format_figure
+
+#: client sweep and window used by the benchmark suite (kept small so the
+#: full suite completes quickly; the CLI exposes fuller sweeps).
+BENCH_CLIENTS = (12, 64)
+BENCH_DURATION = 0.15
+BENCH_WARMUP = 0.03
+
+
+def run_and_report(figure_id: str):
+    """Run one figure with the benchmark-suite settings and print it."""
+    result = run_figure(
+        figure_id,
+        client_counts=BENCH_CLIENTS,
+        duration=BENCH_DURATION,
+        warmup=BENCH_WARMUP,
+    )
+    print()
+    print(format_figure(result))
+    return result
+
+
+def run_figure_benchmark(benchmark, figure_id: str):
+    """Benchmark one figure via pytest-benchmark (single round)."""
+    result = benchmark.pedantic(run_and_report, args=(figure_id,), rounds=1, iterations=1)
+    return result

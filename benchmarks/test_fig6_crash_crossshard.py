@@ -1,0 +1,51 @@
+"""Figure 6: throughput/latency with crash-only nodes, varying cross-shard %.
+
+Paper setup: 12 crash-only nodes; SharPer and AHL-C split them into four
+clusters of three (Paxos, f = 1); APR-C uses 3 active + 9 passive
+replicas; FPaxos uses 4 consensus nodes + 8 passive replicas.  Each
+sub-figure varies the fraction of cross-shard transactions.
+
+The assertions check the paper's qualitative claims (who wins and by
+roughly what factor), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_benchmark
+
+
+def test_fig6a_no_cross_shard(benchmark):
+    """0% cross-shard: sharded systems far ahead of non-sharded ones."""
+    result = run_figure_benchmark(benchmark, "fig6a")
+    peaks = result.peaks()
+    assert peaks["SharPer"] > 2.0 * peaks["APR-C"]
+    assert peaks["SharPer"] > 2.0 * peaks["FPaxos"]
+    # Intra-shard path identical: SharPer and AHL-C within 20% of each other.
+    assert abs(peaks["SharPer"] - peaks["AHL-C"]) / peaks["SharPer"] < 0.25
+
+
+def test_fig6b_20pct_cross_shard(benchmark):
+    """20% cross-shard: SharPer >= AHL-C, both well above APR-C/FPaxos."""
+    result = run_figure_benchmark(benchmark, "fig6b")
+    peaks = result.peaks()
+    assert peaks["SharPer"] >= 0.95 * peaks["AHL-C"]
+    assert peaks["SharPer"] > 1.8 * peaks["APR-C"]
+
+
+def test_fig6c_80pct_cross_shard(benchmark):
+    """80% cross-shard: SharPer still ahead of AHL-C; advantage over
+    non-sharded systems shrinks and their latency is lower."""
+    result = run_figure_benchmark(benchmark, "fig6c")
+    peaks = result.peaks()
+    assert peaks["SharPer"] > peaks["AHL-C"]
+    sharper_latency = result.curve("SharPer").peak().latency_ms
+    apr_latency = result.curve("APR-C").points[0].latency_ms
+    assert apr_latency < sharper_latency * 3
+
+
+def test_fig6d_all_cross_shard(benchmark):
+    """100% cross-shard: SharPer clearly above AHL-C (parallel non-overlapping
+    cross-shard transactions and fewer phases)."""
+    result = run_figure_benchmark(benchmark, "fig6d")
+    peaks = result.peaks()
+    assert peaks["SharPer"] > 1.2 * peaks["AHL-C"]

@@ -1,0 +1,42 @@
+"""Figure 7: throughput/latency with Byzantine nodes, varying cross-shard %.
+
+Paper setup: 16 Byzantine nodes; SharPer and AHL-B split them into four
+clusters of four (PBFT, f = 1); APR-B uses 4 active + 12 passive
+replicas; FaB uses 6 consensus nodes (5f + 1) + 10 passive replicas.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_benchmark
+
+
+def test_fig7a_no_cross_shard(benchmark):
+    """0% cross-shard: sharded systems far ahead; SharPer == AHL-B."""
+    result = run_figure_benchmark(benchmark, "fig7a")
+    peaks = result.peaks()
+    assert peaks["SharPer"] > 2.0 * peaks["APR-B"]
+    assert peaks["SharPer"] > 1.8 * peaks["FaB"]
+    assert abs(peaks["SharPer"] - peaks["AHL-B"]) / peaks["SharPer"] < 0.25
+
+
+def test_fig7b_20pct_cross_shard(benchmark):
+    """20% cross-shard: SharPer >= AHL-B and well above the non-sharded systems."""
+    result = run_figure_benchmark(benchmark, "fig7b")
+    peaks = result.peaks()
+    # Allow 10% tolerance at the benchmark suite's short measurement window.
+    assert peaks["SharPer"] >= 0.90 * peaks["AHL-B"]
+    assert peaks["SharPer"] > 1.5 * peaks["APR-B"]
+
+
+def test_fig7c_80pct_cross_shard(benchmark):
+    """80% cross-shard: SharPer ahead of AHL-B."""
+    result = run_figure_benchmark(benchmark, "fig7c")
+    peaks = result.peaks()
+    assert peaks["SharPer"] > peaks["AHL-B"]
+
+
+def test_fig7d_all_cross_shard(benchmark):
+    """100% cross-shard: SharPer clearly ahead of AHL-B (paper: ~1.5x)."""
+    result = run_figure_benchmark(benchmark, "fig7d")
+    peaks = result.peaks()
+    assert peaks["SharPer"] > 1.1 * peaks["AHL-B"]

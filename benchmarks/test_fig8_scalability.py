@@ -1,0 +1,29 @@
+"""Figure 8: SharPer scalability with the number of clusters.
+
+Paper setup: 90% intra-shard / 10% cross-shard transactions (the typical
+partitioned-database mix), clusters of three crash-only or four Byzantine
+nodes, and 2 to 5 clusters.  Throughput should grow close to linearly
+with the number of clusters.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_benchmark
+
+
+def test_fig8a_crash_scalability(benchmark):
+    """Crash-only: peak throughput grows with the cluster count."""
+    result = run_figure_benchmark(benchmark, "fig8a")
+    peaks = result.peaks()
+    assert peaks["5 clusters"] > peaks["3 clusters"] > 0
+    assert peaks["4 clusters"] > peaks["2 clusters"]
+    # Semi-linear scaling: 2 -> 4 clusters should buy at least ~1.5x.
+    assert peaks["4 clusters"] > 1.5 * peaks["2 clusters"]
+
+
+def test_fig8b_byzantine_scalability(benchmark):
+    """Byzantine: peak throughput grows with the cluster count."""
+    result = run_figure_benchmark(benchmark, "fig8b")
+    peaks = result.peaks()
+    assert peaks["5 clusters"] > peaks["3 clusters"] > 0
+    assert peaks["4 clusters"] > 1.4 * peaks["2 clusters"]

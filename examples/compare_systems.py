@@ -1,0 +1,58 @@
+"""Head-to-head comparison: SharPer vs AHL vs APR vs Fast consensus.
+
+Runs the four systems of Figure 6/7 under the same workload and prints a
+small table of peak throughput and latency, for both failure models.
+
+Run with::
+
+    python examples/compare_systems.py [cross_shard_fraction]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import ExperimentSpec, run_curve
+from repro.bench.reporting import format_table
+from repro.common.types import FaultModel
+
+LABELS = {
+    FaultModel.CRASH: {"sharper": "SharPer", "ahl": "AHL-C", "apr": "APR-C", "fast": "FPaxos"},
+    FaultModel.BYZANTINE: {"sharper": "SharPer", "ahl": "AHL-B", "apr": "APR-B", "fast": "FaB"},
+}
+
+
+def compare(fault_model: FaultModel, cross_fraction: float) -> None:
+    print(
+        f"== {fault_model.value} nodes, {cross_fraction:.0%} cross-shard transactions =="
+    )
+    rows = []
+    for system, label in LABELS[fault_model].items():
+        spec = ExperimentSpec(
+            system=system,
+            fault_model=fault_model,
+            cross_shard_fraction=cross_fraction,
+            duration=0.25,
+            warmup=0.05,
+        )
+        curve = run_curve(spec, client_counts=(16, 64, 128), label=label)
+        peak = curve.peak()
+        rows.append(
+            {
+                "system": label,
+                "peak_tps": f"{peak.throughput:,.0f}",
+                "latency_ms_at_peak": f"{peak.latency_ms:.2f}",
+            }
+        )
+    print(format_table(rows))
+    print()
+
+
+def main() -> None:
+    cross_fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    compare(FaultModel.CRASH, cross_fraction)
+    compare(FaultModel.BYZANTINE, cross_fraction)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Scalability sweep: SharPer throughput vs. number of clusters (Figure 8).
+
+Runs the 90% intra / 10% cross-shard workload on 2..5 clusters for both
+failure models and prints the measured peak throughput, reproducing the
+shape of Figure 8 (near-linear scaling with the cluster count).
+
+Run with::
+
+    python examples/scalability_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentSpec, run_curve
+from repro.common.types import FaultModel
+
+
+def sweep(fault_model: FaultModel) -> None:
+    label = "crash-only (Paxos)" if fault_model is FaultModel.CRASH else "Byzantine (PBFT)"
+    print(f"== SharPer scalability, {label}, 10% cross-shard ==")
+    baseline = None
+    for clusters in (2, 3, 4, 5):
+        spec = ExperimentSpec(
+            system="sharper",
+            fault_model=fault_model,
+            num_clusters=clusters,
+            cross_shard_fraction=0.1,
+            duration=0.25,
+            warmup=0.05,
+        )
+        curve = run_curve(spec, client_counts=(16, 64, 128), label=f"{clusters} clusters")
+        peak = curve.peak()
+        baseline = baseline or peak.throughput
+        print(
+            f"  {clusters} clusters: peak {peak.throughput:9,.0f} tx/s "
+            f"at {peak.latency_ms:6.2f} ms  (x{peak.throughput / baseline:.2f} vs 2 clusters)"
+        )
+    print()
+
+
+def main() -> None:
+    sweep(FaultModel.CRASH)
+    sweep(FaultModel.BYZANTINE)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of SharPer (SIGMOD 2021).
+
+SharPer shards a permissioned blockchain over network clusters: nodes are
+partitioned into clusters of ``2f+1`` (crash) or ``3f+1`` (Byzantine)
+nodes, each cluster maintains one data shard and one view of a DAG
+ledger, intra-shard transactions are ordered by Paxos/PBFT inside one
+cluster, and cross-shard transactions are ordered by a flattened protocol
+run directly among the involved clusters.
+
+Public entry points
+-------------------
+* :class:`repro.core.SharPerSystem` — build and run the paper's system.
+* :mod:`repro.baselines` — APR, Fast Paxos, FaB, and AHL comparison systems.
+* :mod:`repro.bench` — the harness regenerating every figure of the paper.
+"""
+
+from .common import FaultModel, PerformanceModel, ProtocolTuning, SystemConfig
+from .core import SharPerSystem
+from .txn import Transaction, Transfer, WorkloadConfig, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultModel",
+    "PerformanceModel",
+    "ProtocolTuning",
+    "SharPerSystem",
+    "SystemConfig",
+    "Transaction",
+    "Transfer",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against: APR, FPaxos, FaB, AHL."""
+
+from .ahl import AHLReplica, AHLSystem, ReferenceCommitteeReplica
+from .single_group import (
+    ActivePassiveSystem,
+    FaBEngine,
+    FastConsensusSystem,
+    FastPaxosEngine,
+    PassiveReplica,
+    SingleGroupReplica,
+)
+
+__all__ = [
+    "AHLReplica",
+    "AHLSystem",
+    "ActivePassiveSystem",
+    "FaBEngine",
+    "FastConsensusSystem",
+    "FastPaxosEngine",
+    "PassiveReplica",
+    "ReferenceCommitteeReplica",
+    "SingleGroupReplica",
+]

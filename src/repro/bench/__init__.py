@@ -1,0 +1,44 @@
+"""Benchmark harness: experiment specs, figure definitions, reporting."""
+
+from .experiments import (
+    FIGURES,
+    FULL_CLIENTS,
+    QUICK_CLIENTS,
+    FigureResult,
+    FigureSpec,
+    SeriesSpec,
+    list_figures,
+    run_figure,
+)
+from .harness import (
+    SYSTEM_REGISTRY,
+    Curve,
+    CurvePoint,
+    ExperimentSpec,
+    peak_throughput,
+    run_curve,
+    run_point,
+)
+from .reporting import figure_to_csv, format_figure, format_table, write_csv
+
+__all__ = [
+    "Curve",
+    "CurvePoint",
+    "ExperimentSpec",
+    "FIGURES",
+    "FULL_CLIENTS",
+    "FigureResult",
+    "FigureSpec",
+    "QUICK_CLIENTS",
+    "SYSTEM_REGISTRY",
+    "SeriesSpec",
+    "figure_to_csv",
+    "format_figure",
+    "format_table",
+    "list_figures",
+    "peak_throughput",
+    "run_curve",
+    "run_figure",
+    "run_point",
+    "write_csv",
+]

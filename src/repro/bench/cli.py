@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Examples
+--------
+Regenerate Figure 6(a) with the quick client sweep::
+
+    sharper-bench fig6a
+
+Run a fuller sweep and save the raw points::
+
+    sharper-bench fig6d --full --csv fig6d.csv
+
+List every reproducible figure::
+
+    sharper-bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import FULL_CLIENTS, QUICK_CLIENTS, list_figures, run_figure
+from .reporting import format_figure, write_csv
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sharper-bench",
+        description="Regenerate the figures of the SharPer evaluation (Section 4).",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig6a fig7d fig8a")
+    parser.add_argument("--list", action="store_true", help="list available figures and exit")
+    parser.add_argument("--full", action="store_true", help="use the full client sweep")
+    parser.add_argument(
+        "--duration", type=float, default=0.30, help="simulated seconds per point"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=0.06, help="simulated warm-up seconds per point"
+    )
+    parser.add_argument("--csv", type=str, default=None, help="write raw points to this CSV file")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-point progress output")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list or not args.figures:
+        print("available figures:")
+        for figure_id in list_figures():
+            print(f"  {figure_id}")
+        return 0
+    progress = None if args.quiet else (lambda line: print(f"  {line}", file=sys.stderr))
+    counts = FULL_CLIENTS if args.full else QUICK_CLIENTS
+    for figure_id in args.figures:
+        result = run_figure(
+            figure_id,
+            client_counts=counts,
+            duration=args.duration,
+            warmup=args.warmup,
+            progress=progress,
+        )
+        print(format_figure(result))
+        print()
+        if args.csv:
+            target = args.csv if len(args.figures) == 1 else f"{figure_id}_{args.csv}"
+            write_csv(result, target)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    raise SystemExit(main())

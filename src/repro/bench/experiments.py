@@ -1,0 +1,199 @@
+"""Definitions of every figure in the paper's evaluation (Section 4).
+
+Each figure is described declaratively (:data:`FIGURES`): which systems
+appear, which fault model and workload mix are used, and how many
+clusters are deployed.  :func:`run_figure` executes the corresponding
+load sweeps and returns a :class:`FigureResult` holding one
+throughput/latency curve per plotted series — the same series the paper
+plots:
+
+* **Figure 6** — crash-only nodes (12 nodes, 4 clusters of 3), varying the
+  cross-shard percentage: (a) 0%, (b) 20%, (c) 80%, (d) 100%.  Systems:
+  SharPer, AHL-C, APR-C, FPaxos.
+* **Figure 7** — Byzantine nodes (16 nodes, 4 clusters of 4), same
+  percentages.  Systems: SharPer, AHL-B, APR-B, FaB.
+* **Figure 8** — SharPer only, 90% intra / 10% cross-shard, scaling the
+  number of clusters from 2 to 5: (a) crash-only, (b) Byzantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..common.types import FaultModel
+from .harness import Curve, ExperimentSpec, run_curve
+
+__all__ = [
+    "SeriesSpec",
+    "FigureSpec",
+    "FigureResult",
+    "FIGURES",
+    "QUICK_CLIENTS",
+    "FULL_CLIENTS",
+    "run_figure",
+    "list_figures",
+]
+
+#: client sweep used by the quick (CI-friendly) configuration.
+QUICK_CLIENTS: tuple[int, ...] = (12, 48, 120)
+#: client sweep used for a fuller curve.
+FULL_CLIENTS: tuple[int, ...] = (4, 12, 32, 64, 96, 128, 160)
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One plotted series: a system with a display label."""
+
+    system: str
+    label: str
+    num_clusters: int = 4
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One figure (or sub-figure) of the paper's evaluation."""
+
+    figure_id: str
+    title: str
+    fault_model: FaultModel
+    cross_shard_fraction: float
+    series: tuple[SeriesSpec, ...]
+    #: free-text description of the shape the paper reports, recorded in
+    #: EXPERIMENTS.md next to the measured outcome.
+    expected_shape: str = ""
+
+    def spec_for(self, series: SeriesSpec, duration: float, warmup: float) -> ExperimentSpec:
+        """Experiment spec for one of the figure's series."""
+        return ExperimentSpec(
+            system=series.system,
+            fault_model=self.fault_model,
+            num_clusters=series.num_clusters,
+            cross_shard_fraction=self.cross_shard_fraction,
+            duration=duration,
+            warmup=warmup,
+        )
+
+
+@dataclass
+class FigureResult:
+    """Measured curves for one figure."""
+
+    figure: FigureSpec
+    curves: list[Curve] = field(default_factory=list)
+
+    def curve(self, label: str) -> Curve:
+        """Look up a series by its display label."""
+        for curve in self.curves:
+            if curve.label == label:
+                return curve
+        raise KeyError(f"no series labelled {label!r} in {self.figure.figure_id}")
+
+    def peaks(self) -> dict[str, float]:
+        """Peak throughput per series label."""
+        return {curve.label: curve.peak().throughput for curve in self.curves}
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """All measured points, flattened for reporting."""
+        rows: list[dict[str, float]] = []
+        for curve in self.curves:
+            rows.extend(curve.as_rows())
+        return rows
+
+
+_SHARDED_CRASH = (
+    SeriesSpec("sharper", "SharPer"),
+    SeriesSpec("ahl", "AHL-C"),
+    SeriesSpec("apr", "APR-C"),
+    SeriesSpec("fast", "FPaxos"),
+)
+_SHARDED_BYZ = (
+    SeriesSpec("sharper", "SharPer"),
+    SeriesSpec("ahl", "AHL-B"),
+    SeriesSpec("apr", "APR-B"),
+    SeriesSpec("fast", "FaB"),
+)
+_SCALABILITY = tuple(
+    SeriesSpec("sharper", f"{clusters} clusters", num_clusters=clusters)
+    for clusters in (2, 3, 4, 5)
+)
+
+FIGURES: dict[str, FigureSpec] = {
+    "fig6a": FigureSpec(
+        "fig6a", "Crash-only, 0% cross-shard", FaultModel.CRASH, 0.0, _SHARDED_CRASH,
+        expected_shape=(
+            "SharPer == AHL-C (same intra-shard path); both roughly 3-4x the "
+            "peak throughput of APR-C and FPaxos."
+        ),
+    ),
+    "fig6b": FigureSpec(
+        "fig6b", "Crash-only, 20% cross-shard", FaultModel.CRASH, 0.2, _SHARDED_CRASH,
+        expected_shape="SharPer above AHL-C (~10%); sharded systems still well above APR-C/FPaxos.",
+    ),
+    "fig6c": FigureSpec(
+        "fig6c", "Crash-only, 80% cross-shard", FaultModel.CRASH, 0.8, _SHARDED_CRASH,
+        expected_shape=(
+            "Sharding advantage shrinks; SharPer still beats AHL-C; APR-C/FPaxos "
+            "have lower latency than SharPer."
+        ),
+    ),
+    "fig6d": FigureSpec(
+        "fig6d", "Crash-only, 100% cross-shard", FaultModel.CRASH, 1.0, _SHARDED_CRASH,
+        expected_shape="SharPer ~44% above AHL-C at peak; non-sharded systems have lower latency.",
+    ),
+    "fig7a": FigureSpec(
+        "fig7a", "Byzantine, 0% cross-shard", FaultModel.BYZANTINE, 0.0, _SHARDED_BYZ,
+        expected_shape=(
+            "SharPer == AHL-B; both roughly 3-4x the peak throughput of APR-B and FaB; "
+            "FaB has lower latency than APR-B."
+        ),
+    ),
+    "fig7b": FigureSpec(
+        "fig7b", "Byzantine, 20% cross-shard", FaultModel.BYZANTINE, 0.2, _SHARDED_BYZ,
+        expected_shape="SharPer ~15% above AHL-B; ~3x APR-B/FaB.",
+    ),
+    "fig7c": FigureSpec(
+        "fig7c", "Byzantine, 80% cross-shard", FaultModel.BYZANTINE, 0.8, _SHARDED_BYZ,
+        expected_shape="SharPer ~34% above AHL-B; APR-B/FaB latency lower than SharPer.",
+    ),
+    "fig7d": FigureSpec(
+        "fig7d", "Byzantine, 100% cross-shard", FaultModel.BYZANTINE, 1.0, _SHARDED_BYZ,
+        expected_shape="SharPer ~50% above AHL-B (AHL ~67% of SharPer).",
+    ),
+    "fig8a": FigureSpec(
+        "fig8a", "SharPer scalability, crash-only, 10% cross-shard",
+        FaultModel.CRASH, 0.1, _SCALABILITY,
+        expected_shape="Throughput grows near-linearly with the number of clusters.",
+    ),
+    "fig8b": FigureSpec(
+        "fig8b", "SharPer scalability, Byzantine, 10% cross-shard",
+        FaultModel.BYZANTINE, 0.1, _SCALABILITY,
+        expected_shape="Throughput grows near-linearly with the number of clusters.",
+    ),
+}
+
+
+def list_figures() -> list[str]:
+    """Identifiers of every reproducible figure."""
+    return sorted(FIGURES)
+
+
+def run_figure(
+    figure_id: str,
+    client_counts: Sequence[int] | None = None,
+    duration: float = 0.30,
+    warmup: float = 0.06,
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Measure every series of one figure and return the curves."""
+    try:
+        figure = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(f"unknown figure {figure_id!r}; choose from {list_figures()}") from None
+    counts = tuple(client_counts or QUICK_CLIENTS)
+    result = FigureResult(figure=figure)
+    for series in figure.series:
+        spec = figure.spec_for(series, duration=duration, warmup=warmup)
+        curve = run_curve(spec, counts, label=series.label, progress=progress)
+        result.curves.append(curve)
+    return result

@@ -1,0 +1,170 @@
+"""Experiment harness: load sweeps producing throughput/latency curves.
+
+The paper's methodology (Section 4): drive each system with an increasing
+number of closed-loop clients until throughput saturates, and report the
+throughput (x axis) and average latency (y axis) measured during steady
+state.  :func:`run_point` measures one client count; :func:`run_curve`
+sweeps a list of client counts and returns the resulting curve, from
+which :func:`peak_throughput` extracts the "just below saturation" point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Type
+
+from ..common.config import PerformanceModel, ProtocolTuning, SystemConfig
+from ..common.metrics import MetricsCollector, RunStats
+from ..common.types import FaultModel
+from ..core.system import BaseSystem, SharPerSystem
+from ..baselines.ahl import AHLSystem
+from ..baselines.single_group import ActivePassiveSystem, FastConsensusSystem
+from ..txn.workload import WorkloadConfig
+
+__all__ = [
+    "SYSTEM_REGISTRY",
+    "ExperimentSpec",
+    "CurvePoint",
+    "Curve",
+    "run_point",
+    "run_curve",
+    "peak_throughput",
+]
+
+#: registry of evaluated systems, keyed by the short names used in reports.
+SYSTEM_REGISTRY: dict[str, Type[BaseSystem]] = {
+    "sharper": SharPerSystem,
+    "ahl": AHLSystem,
+    "apr": ActivePassiveSystem,
+    "fast": FastConsensusSystem,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to measure one system under one workload."""
+
+    system: str
+    fault_model: FaultModel
+    num_clusters: int = 4
+    f: int = 1
+    cross_shard_fraction: float = 0.0
+    shards_per_cross_tx: int = 2
+    accounts_per_shard: int = 256
+    num_app_clients: int = 32
+    duration: float = 0.30
+    warmup: float = 0.06
+    seed: int = 1
+    performance: PerformanceModel = field(default_factory=PerformanceModel)
+    tuning: ProtocolTuning = field(default_factory=ProtocolTuning)
+
+    def build_system(self) -> BaseSystem:
+        """Instantiate the system under test."""
+        try:
+            system_cls = SYSTEM_REGISTRY[self.system]
+        except KeyError:
+            raise KeyError(
+                f"unknown system {self.system!r}; choose from {sorted(SYSTEM_REGISTRY)}"
+            ) from None
+        config = SystemConfig.build(
+            num_clusters=self.num_clusters,
+            fault_model=self.fault_model,
+            f=self.f,
+            performance=self.performance,
+            tuning=self.tuning,
+            seed=self.seed,
+        )
+        workload = WorkloadConfig(
+            cross_shard_fraction=self.cross_shard_fraction,
+            shards_per_cross_tx=self.shards_per_cross_tx,
+            accounts_per_shard=self.accounts_per_shard,
+            num_clients=self.num_app_clients,
+        )
+        return system_cls(config, workload, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One measured point of a throughput/latency curve."""
+
+    clients: int
+    stats: RunStats
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        return self.stats.throughput
+
+    @property
+    def latency_ms(self) -> float:
+        """Average end-to-end latency in milliseconds."""
+        return self.stats.avg_latency * 1e3
+
+
+@dataclass(frozen=True)
+class Curve:
+    """The throughput/latency curve of one system under one workload."""
+
+    system: str
+    label: str
+    points: tuple[CurvePoint, ...]
+
+    def peak(self) -> CurvePoint:
+        """The point with the highest throughput ("just below saturation")."""
+        return max(self.points, key=lambda point: point.throughput)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Rows suitable for CSV/text reporting."""
+        return [
+            {
+                "system": self.label,
+                "clients": point.clients,
+                "throughput_tps": round(point.throughput, 1),
+                "avg_latency_ms": round(point.latency_ms, 2),
+                "p95_latency_ms": round(point.stats.p95_latency * 1e3, 2),
+            }
+            for point in self.points
+        ]
+
+
+def run_point(
+    spec: ExperimentSpec,
+    clients: int,
+    check_consistency: bool = False,
+) -> RunStats:
+    """Run one system at one offered load and return its steady-state stats."""
+    system = spec.build_system()
+    metrics = MetricsCollector(warmup=spec.warmup, measure_until=spec.duration)
+    group = system.spawn_clients(clients, metrics)
+    system.start_clients(group)
+    end = system.sim.run(until=spec.duration)
+    stats = metrics.finalize(end)
+    if check_consistency:
+        system.drain()
+        report = system.audit()
+        report.raise_if_failed()
+    return stats
+
+
+def run_curve(
+    spec: ExperimentSpec,
+    client_counts: Sequence[int],
+    label: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> Curve:
+    """Sweep offered load and return the throughput/latency curve."""
+    points = []
+    for clients in client_counts:
+        stats = run_point(spec, clients)
+        points.append(CurvePoint(clients=clients, stats=stats))
+        if progress is not None:
+            progress(
+                f"{label or spec.system}: {clients} clients -> "
+                f"{stats.throughput:.0f} tps @ {stats.avg_latency * 1e3:.1f} ms"
+            )
+    return Curve(system=spec.system, label=label or spec.system, points=tuple(points))
+
+
+def peak_throughput(curve: Curve) -> float:
+    """Peak throughput of a curve (transactions per second)."""
+    return curve.peak().throughput

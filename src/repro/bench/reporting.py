@@ -1,0 +1,64 @@
+"""Plain-text and CSV reporting for benchmark results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping
+
+from .experiments import FigureResult
+
+__all__ = ["format_table", "format_figure", "figure_to_csv", "write_csv"]
+
+
+def format_table(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    headers = list(rows[0].keys())
+    widths = {header: len(header) for header in headers}
+    for row in rows:
+        for header in headers:
+            widths[header] = max(widths[header], len(str(row.get(header, ""))))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[header]) for header in headers))
+    lines.append("  ".join("-" * widths[header] for header in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(header, "")).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render a figure's curves the way the paper's plots read."""
+    figure = result.figure
+    parts = [
+        f"== {figure.figure_id}: {figure.title} ==",
+        f"expected shape: {figure.expected_shape}",
+        format_table(result.as_rows()),
+        "peak throughput (tx/s, just below saturation):",
+    ]
+    peaks = result.peaks()
+    for label, peak in sorted(peaks.items(), key=lambda item: -item[1]):
+        parts.append(f"  {label:16s} {peak:10.0f}")
+    return "\n".join(parts)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Serialise a figure's measured points as CSV text."""
+    rows = result.as_rows()
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(result: FigureResult, path: str) -> None:
+    """Write a figure's measured points to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(figure_to_csv(result))

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the SharPer reproduction.
+
+All library-raised exceptions derive from :class:`SharPerError` so that
+callers can catch a single base class.  Programming errors (wrong types,
+impossible configurations) raise the standard ``ValueError``/``TypeError``
+instead.
+"""
+
+from __future__ import annotations
+
+
+class SharPerError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(SharPerError):
+    """An invalid system, cluster, or workload configuration was supplied."""
+
+
+class LedgerError(SharPerError):
+    """Base class for ledger/DAG consistency problems."""
+
+
+class UnknownBlockError(LedgerError):
+    """A referenced block hash does not exist in the ledger view."""
+
+
+class ForkError(LedgerError):
+    """Two distinct blocks claim the same slot in a cluster's chain."""
+
+
+class HashChainError(LedgerError):
+    """A block's parent-hash reference does not match the chain."""
+
+
+class ValidationError(SharPerError):
+    """A transaction failed application-level validation.
+
+    For the accounting application this covers unknown accounts,
+    insufficient balances, and ownership (signature) failures.
+    """
+
+
+class InsufficientBalanceError(ValidationError):
+    """The source account does not hold enough funds for the transfer."""
+
+
+class UnknownAccountError(ValidationError):
+    """The transaction references an account that does not exist."""
+
+
+class ConsensusError(SharPerError):
+    """Base class for consensus-protocol errors."""
+
+
+class QuorumNotReachedError(ConsensusError):
+    """A protocol instance could not gather the required quorum."""
+
+
+class ViewChangeError(ConsensusError):
+    """A view change could not be completed."""
+
+
+class ConflictError(ConsensusError):
+    """Two concurrent conflicting cross-shard transactions collided.
+
+    The paper resolves this by having the initiator retry after a timer
+    (Section 3.2, Safety and Liveness).  The error is surfaced when the
+    retry budget is exhausted.
+    """
+
+
+class SimulationError(SharPerError):
+    """Base class for simulator misuse (e.g. scheduling in the past)."""
+
+
+class NetworkError(SimulationError):
+    """A message could not be routed (unknown destination, closed link)."""

@@ -1,0 +1,57 @@
+"""Intra-shard consensus engines (Paxos, PBFT), ordering log, messages."""
+
+from .base import ConsensusEngine, ConsensusHost, QuorumTracker
+from .log import EntryStatus, LogEntry, Noop, OrderingLog, item_digest
+from .messages import (
+    ClientReply,
+    ClientRequest,
+    CrossAccept,
+    CrossAcceptB,
+    CrossCommit,
+    CrossCommitB,
+    CrossPropose,
+    CrossProposeB,
+    NewView,
+    PassiveUpdate,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosCommit,
+    PBFTCommit,
+    Prepare,
+    PrePrepare,
+    ViewChange,
+)
+from .paxos import PaxosEngine
+from .pbft import PBFTEngine
+from .view_change import ViewChangeManager
+
+__all__ = [
+    "ClientReply",
+    "ClientRequest",
+    "ConsensusEngine",
+    "ConsensusHost",
+    "CrossAccept",
+    "CrossAcceptB",
+    "CrossCommit",
+    "CrossCommitB",
+    "CrossPropose",
+    "CrossProposeB",
+    "EntryStatus",
+    "LogEntry",
+    "NewView",
+    "Noop",
+    "OrderingLog",
+    "PBFTCommit",
+    "PBFTEngine",
+    "PassiveUpdate",
+    "PaxosAccept",
+    "PaxosAccepted",
+    "PaxosCommit",
+    "PaxosEngine",
+    "Prepare",
+    "PrePrepare",
+    "QuorumTracker",
+    "ViewChange",
+    "ViewChangeManager",
+    "item_digest",
+]

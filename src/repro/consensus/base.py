@@ -1,0 +1,134 @@
+"""Shared infrastructure for the consensus engines.
+
+Engines (Paxos, PBFT, and the cross-shard protocols in
+:mod:`repro.core`) are plain state machines: they do not own a network
+socket or a ledger, they talk to a *host* — the replica process — through
+the small :class:`ConsensusHost` interface.  This keeps the protocols
+testable without the simulator and lets SharPer plug either intra-shard
+protocol into the same replica ("the intra-shard consensus protocol in
+SharPer is pluggable", Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Hashable, Protocol, runtime_checkable
+
+from ..common.config import ClusterConfig
+from ..common.types import ClusterId, NodeId
+from ..sim.simulator import Timer
+from .log import OrderingLog
+
+__all__ = ["ConsensusHost", "QuorumTracker", "ConsensusEngine"]
+
+
+@runtime_checkable
+class ConsensusHost(Protocol):
+    """What a consensus engine needs from the replica hosting it."""
+
+    node_id: NodeId
+    cluster: ClusterConfig
+    log: OrderingLog
+
+    def multicast_cluster(self, message: Any) -> None:
+        """Send ``message`` to every other node of this cluster."""
+        ...
+
+    def send_to(self, node_id: NodeId, message: Any) -> None:
+        """Send ``message`` to one node."""
+        ...
+
+    def after_decide(self) -> None:
+        """Notify the host that new slots may be ready to apply."""
+        ...
+
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Arm a timer on the host's clock."""
+        ...
+
+    @property
+    def view_change_timeout(self) -> float:
+        """Timeout after which a backup suspects the primary."""
+        ...
+
+
+class QuorumTracker:
+    """Counts distinct votes per key and fires once a threshold is reached.
+
+    Keys are protocol-specific tuples such as ``(view, slot, digest)``.
+    A key fires at most once; duplicate votes from the same voter are
+    ignored, matching the "matching messages from distinct nodes"
+    requirement of every quorum in the paper.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError("quorum threshold must be positive")
+        self.threshold = threshold
+        self._votes: dict[Hashable, set[int]] = defaultdict(set)
+        self._fired: set[Hashable] = set()
+
+    def vote(self, key: Hashable, voter: int) -> bool:
+        """Record a vote; returns ``True`` the first time the key reaches quorum."""
+        if key in self._fired:
+            return False
+        votes = self._votes[key]
+        votes.add(voter)
+        if len(votes) >= self.threshold:
+            self._fired.add(key)
+            return True
+        return False
+
+    def count(self, key: Hashable) -> int:
+        """Number of distinct votes recorded for ``key``."""
+        return len(self._votes.get(key, ()))
+
+    def reached(self, key: Hashable) -> bool:
+        """Whether ``key`` has already reached its quorum."""
+        return key in self._fired
+
+    def voters(self, key: Hashable) -> frozenset[int]:
+        """The distinct voters recorded for ``key``."""
+        return frozenset(self._votes.get(key, ()))
+
+    def clear(self) -> None:
+        """Forget all votes (used on view installation)."""
+        self._votes.clear()
+        self._fired.clear()
+
+
+class ConsensusEngine:
+    """Common plumbing shared by the intra-shard engines."""
+
+    def __init__(self, host: ConsensusHost) -> None:
+        self.host = host
+        self.view = 0
+
+    # ------------------------------------------------------------------
+    # primary/backup roles
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> NodeId:
+        """The primary of the current view."""
+        return self.host.cluster.primary_for_view(self.view)
+
+    @property
+    def is_primary(self) -> bool:
+        """Whether the hosting replica is the primary of the current view."""
+        return self.host.node_id == self.primary
+
+    @property
+    def cluster_id(self) -> ClusterId:
+        """Identifier of the hosting cluster."""
+        return self.host.cluster.cluster_id
+
+    # ------------------------------------------------------------------
+    # interface implemented by concrete engines
+    # ------------------------------------------------------------------
+    def submit(self, item: object) -> int | None:
+        """Primary-side entry point: start consensus on ``item``."""
+        raise NotImplementedError
+
+    def handle(self, message: object, src: int) -> bool:
+        """Process a protocol message; returns ``True`` if it was consumed."""
+        raise NotImplementedError

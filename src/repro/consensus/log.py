@@ -1,0 +1,242 @@
+"""Per-replica ordering log.
+
+Every replica keeps one :class:`OrderingLog` for its cluster's chain.
+Intra-shard and cross-shard consensus instances both allocate *slots*
+(sequence numbers) from the same log, which is what gives the paper's
+total order over all transactions — intra or cross — that access the
+cluster's shard (Section 2.3).
+
+The log tracks three things per slot:
+
+* the item proposed/accepted for the slot (at most one digest per slot —
+  the quorum-intersection argument of Paxos/PBFT relies on this);
+* whether the slot has been *decided* (committed by consensus);
+* whether the slot has been *applied* (executed and appended to the
+  ledger view).  Application is strictly in slot order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..common.errors import ConsensusError
+from ..common.types import ClusterId
+
+__all__ = ["EntryStatus", "LogEntry", "OrderingLog", "Noop", "item_digest"]
+
+from ..common.crypto import digest as _digest
+from ..txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class Noop:
+    """A no-op entry used to fill abandoned slots (e.g. after a view change)."""
+
+    reason: str = "noop"
+
+
+def item_digest(item: object) -> str:
+    """Digest of an ordered item (transaction, no-op, or protocol marker)."""
+    if isinstance(item, Transaction):
+        return item.payload_digest()
+    return _digest(item)
+
+
+class EntryStatus(enum.Enum):
+    """Lifecycle of a slot in the ordering log."""
+
+    PENDING = "pending"
+    DECIDED = "decided"
+    APPLIED = "applied"
+
+
+@dataclass
+class LogEntry:
+    """State of one slot."""
+
+    slot: int
+    digest: str
+    item: object
+    status: EntryStatus = EntryStatus.PENDING
+    #: full position vector for cross-shard entries (own cluster included).
+    positions: dict[ClusterId, int] = field(default_factory=dict)
+    #: cluster that initiated consensus for this entry.
+    proposer: ClusterId | None = None
+    #: view in which the entry was accepted (intra-shard protocols).
+    view: int = 0
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the entry is a gap-filling no-op."""
+        return isinstance(self.item, Noop)
+
+
+class OrderingLog:
+    """Slot-indexed log of (to-be-)ordered items for one cluster."""
+
+    def __init__(self, cluster_id: ClusterId) -> None:
+        self.cluster_id = cluster_id
+        self._entries: dict[int, LogEntry] = {}
+        self._next_slot = 1
+        self._next_apply = 1
+        self._decided_digests: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # slot allocation
+    # ------------------------------------------------------------------
+    @property
+    def next_slot(self) -> int:
+        """Next slot a primary would allocate."""
+        return self._next_slot
+
+    @property
+    def next_apply(self) -> int:
+        """Lowest slot that has not been applied yet."""
+        return self._next_apply
+
+    def allocate(self) -> int:
+        """Allocate the next slot (primary side)."""
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def observe(self, slot: int) -> None:
+        """Advance the allocation cursor past an externally observed slot."""
+        if slot >= self._next_slot:
+            self._next_slot = slot + 1
+
+    # ------------------------------------------------------------------
+    # entry state transitions
+    # ------------------------------------------------------------------
+    def entry(self, slot: int) -> LogEntry | None:
+        """The entry currently recorded for ``slot``, if any."""
+        return self._entries.get(slot)
+
+    def entries(self) -> Iterator[LogEntry]:
+        """All entries, in slot order."""
+        for slot in sorted(self._entries):
+            yield self._entries[slot]
+
+    def record_pending(
+        self,
+        slot: int,
+        digest: str,
+        item: object,
+        view: int = 0,
+        proposer: ClusterId | None = None,
+    ) -> LogEntry:
+        """Record that ``item`` was accepted for ``slot`` (not yet decided).
+
+        A slot accepts only one digest; re-recording the same digest is
+        idempotent, recording a different digest for an undecided slot
+        raises (the caller decides how to resolve the conflict — in the
+        normal case it simply refuses to vote for the second proposal).
+        """
+        self.observe(slot)
+        existing = self._entries.get(slot)
+        if existing is not None:
+            if existing.digest != digest and existing.status is not EntryStatus.PENDING:
+                raise ConsensusError(
+                    f"slot {slot} already {existing.status.value} with a different digest"
+                )
+            if existing.digest == digest:
+                return existing
+            raise ConsensusError(f"slot {slot} already holds a different pending digest")
+        entry = LogEntry(slot=slot, digest=digest, item=item, view=view, proposer=proposer)
+        self._entries[slot] = entry
+        return entry
+
+    def decide(
+        self,
+        slot: int,
+        digest: str,
+        item: object,
+        positions: Mapping[ClusterId, int] | None = None,
+        proposer: ClusterId | None = None,
+        view: int = 0,
+    ) -> LogEntry:
+        """Mark ``slot`` as decided with ``item``.
+
+        Deciding overrides any pending entry for the slot (a pending entry
+        with a different digest means that proposal lost; its initiator
+        will retry at another slot).  Deciding an already-decided slot with
+        a different digest is a safety violation and raises.
+        """
+        self.observe(slot)
+        existing = self._entries.get(slot)
+        if existing is not None and existing.status is not EntryStatus.PENDING:
+            if existing.digest != digest:
+                raise ConsensusError(
+                    f"slot {slot} decided twice with different digests (fork)"
+                )
+            return existing
+        entry = LogEntry(
+            slot=slot,
+            digest=digest,
+            item=item,
+            status=EntryStatus.DECIDED,
+            positions=dict(positions or {self.cluster_id: slot}),
+            proposer=proposer,
+            view=view,
+        )
+        self._entries[slot] = entry
+        self._decided_digests[digest] = slot
+        return entry
+
+    def decided_slot_of(self, digest: str) -> int | None:
+        """Slot at which ``digest`` was decided, if it was."""
+        return self._decided_digests.get(digest)
+
+    def is_applied(self, slot: int) -> bool:
+        """Whether ``slot`` has been executed and appended."""
+        entry = self._entries.get(slot)
+        return entry is not None and entry.status is EntryStatus.APPLIED
+
+    # ------------------------------------------------------------------
+    # in-order application
+    # ------------------------------------------------------------------
+    def pop_applicable(self) -> list[LogEntry]:
+        """Return (and mark applied) the maximal run of decided slots.
+
+        Application is strictly in slot order: the run stops at the first
+        slot that is missing or not yet decided.
+        """
+        ready: list[LogEntry] = []
+        while True:
+            entry = self._entries.get(self._next_apply)
+            if entry is None or entry.status is not EntryStatus.DECIDED:
+                break
+            entry.status = EntryStatus.APPLIED
+            ready.append(entry)
+            self._next_apply += 1
+        return ready
+
+    # ------------------------------------------------------------------
+    # introspection (view change support, tests)
+    # ------------------------------------------------------------------
+    def undecided_slots(self) -> list[int]:
+        """Slots below the allocation cursor that are not decided/applied."""
+        return [
+            slot
+            for slot in range(1, self._next_slot)
+            if slot not in self._entries
+            or self._entries[slot].status is EntryStatus.PENDING
+        ]
+
+    def decided_summary(self) -> tuple[tuple[int, str], ...]:
+        """Compact ``(slot, digest)`` summary of decided/applied slots."""
+        return tuple(
+            (entry.slot, entry.digest)
+            for entry in self.entries()
+            if entry.status is not EntryStatus.PENDING
+        )
+
+    def pending_summary(self) -> tuple[tuple[int, str, object], ...]:
+        """Compact summary of accepted-but-undecided slots."""
+        return tuple(
+            (entry.slot, entry.digest, entry.item)
+            for entry in self.entries()
+            if entry.status is EntryStatus.PENDING
+        )

@@ -1,0 +1,308 @@
+"""Protocol message types.
+
+Message classes double as the unit of CPU accounting: the simulator's
+cost model charges signature verification per ``verify_signatures`` and
+signing per ``sign_signatures``.  Crash-only protocol messages carry no
+signatures ("since all nodes in the system are crash-only nodes, there is
+no need to sign messages", Section 3.2); Byzantine protocol messages are
+signed, as in Algorithms 2 and PBFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from ..common.types import ClientId, ClusterId, NodeId
+from ..txn.transaction import Transaction
+
+__all__ = [
+    "ClientRequest",
+    "ClientReply",
+    "PaxosAccept",
+    "PaxosAccepted",
+    "PaxosCommit",
+    "PrePrepare",
+    "Prepare",
+    "PBFTCommit",
+    "ViewChange",
+    "NewView",
+    "CrossPropose",
+    "CrossAccept",
+    "CrossCommit",
+    "CrossProposeB",
+    "CrossAcceptB",
+    "CrossCommitB",
+    "PassiveUpdate",
+]
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """``⟨REQUEST, tx, τ_c, c⟩σ_c`` — a signed client request.
+
+    ``reply_to`` is the network address (process id) of the submitting
+    client process, so that every replica that executes the transaction
+    can send its reply.
+    """
+
+    transaction: Transaction
+    client: ClientId
+    timestamp: float
+    reply_to: int = -1
+
+    #: replicas verify the client signature once.
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """Reply sent back to the client once its transaction is executed."""
+
+    tx_id: str
+    node: NodeId
+    cluster: ClusterId
+    view: int
+    success: bool
+    cross_shard: bool = False
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+# ----------------------------------------------------------------------
+# Intra-shard consensus, crash failure model (Paxos, Figure 3a)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PaxosAccept:
+    """Primary → backups: accept ``item`` at ``slot`` (carries ``H(t)``)."""
+
+    view: int
+    slot: int
+    digest: str
+    item: object
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class PaxosAccepted:
+    """Backup → primary: acknowledgement of an accept message."""
+
+    view: int
+    slot: int
+    digest: str
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class PaxosCommit:
+    """Primary → backups: ``slot`` is decided; execute and append."""
+
+    view: int
+    slot: int
+    digest: str
+    item: object
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+# ----------------------------------------------------------------------
+# Intra-shard consensus, Byzantine failure model (PBFT, Figure 3b)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary → backups: signed pre-prepare for ``slot``."""
+
+    view: int
+    slot: int
+    digest: str
+    item: object
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Replica → replicas: signed prepare matching a pre-prepare."""
+
+    view: int
+    slot: int
+    digest: str
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class PBFTCommit:
+    """Replica → replicas: signed commit for ``slot``."""
+
+    view: int
+    slot: int
+    digest: str
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+# ----------------------------------------------------------------------
+# View change (shared by both intra-shard protocols)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ViewChange:
+    """Replica → replicas: the sender suspects the primary of ``view - 1``.
+
+    ``decided`` and ``accepted`` summarise the sender's log so the new
+    primary can re-propose undecided slots.
+    """
+
+    new_view: int
+    node: NodeId
+    decided: tuple[tuple[int, str], ...]
+    accepted: tuple[tuple[int, str, object], ...] = ()
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary → replicas: install ``view`` and re-propose ``entries``."""
+
+    view: int
+    node: NodeId
+    entries: tuple[tuple[int, object], ...]
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+# ----------------------------------------------------------------------
+# Cross-shard consensus, crash failure model (Algorithm 1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrossPropose:
+    """Initiator primary → nodes of every involved cluster (``PROPOSE``).
+
+    ``request`` is the full client request being ordered; ``initiator_slot``
+    is the position the initiator cluster reserves for the transaction (the
+    ``h_i`` reference of Algorithm 1).
+    """
+
+    digest: str
+    request: object
+    involved: tuple[ClusterId, ...]
+    initiator_cluster: ClusterId
+    initiator_slot: int
+    attempt: int = 0
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class CrossAccept:
+    """Node of an involved cluster → initiator primary (``ACCEPT``).
+
+    The ``slot`` field is the position the sender's cluster reserves for
+    the transaction (the role played by ``h_j`` in the paper); it is set
+    by the cluster primary and echoed by backups once known.
+    """
+
+    digest: str
+    cluster: ClusterId
+    node: NodeId
+    slot: int | None
+    attempt: int = 0
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class CrossCommit:
+    """Initiator primary → nodes of every involved cluster (``COMMIT``).
+
+    Carries the full agreed position vector (the ``h_i, h_j, h_k, ...``
+    collected from the accept messages in the paper).
+    """
+
+    digest: str
+    request: object
+    positions: tuple[tuple[ClusterId, int], ...]
+    proposer: ClusterId
+    attempt: int = 0
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0
+
+
+# ----------------------------------------------------------------------
+# Cross-shard consensus, Byzantine failure model (Algorithm 2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrossProposeB:
+    """Signed ``PROPOSE`` multicast by the initiator primary."""
+
+    digest: str
+    request: object
+    involved: tuple[ClusterId, ...]
+    initiator_cluster: ClusterId
+    initiator_slot: int
+    attempt: int = 0
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class CrossAcceptB:
+    """Signed ``ACCEPT`` multicast by every node of every involved cluster."""
+
+    digest: str
+    cluster: ClusterId
+    node: NodeId
+    slot: int | None
+    attempt: int = 0
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class CrossCommitB:
+    """Signed ``COMMIT`` multicast by every node of every involved cluster."""
+
+    digest: str
+    cluster: ClusterId
+    node: NodeId
+    positions: tuple[tuple[ClusterId, int], ...]
+    attempt: int = 0
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+# ----------------------------------------------------------------------
+# Active/passive replication support
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PassiveUpdate:
+    """Active replica → passive replicas: execution result notification."""
+
+    slot: int
+    digest: str
+    item: object
+
+    verify_signatures: ClassVar[int] = 0
+    sign_signatures: ClassVar[int] = 0

@@ -1,0 +1,138 @@
+"""Intra-shard consensus for crash-only clusters (Paxos, Figure 3(a)).
+
+The cluster primary receives client requests, assigns the next sequence
+number (the role the hash of the previous block plays in the paper),
+multicasts an ``accept`` to its backups, waits for ``f`` matching
+``accepted`` replies (``f + 1`` votes counting itself — a majority of the
+``2f + 1`` cluster), and multicasts a ``commit``.  Backups execute and
+append once they receive the commit.
+
+Consensus instances are pipelined over sequence numbers (Multi-Paxos
+style); the ledger layer applies decided slots strictly in order, so the
+chain every replica materialises is identical to the one the paper's
+hash-chained formulation produces.
+"""
+
+from __future__ import annotations
+
+from .base import ConsensusEngine, ConsensusHost, QuorumTracker
+from .log import EntryStatus, item_digest
+from .messages import NewView, PaxosAccept, PaxosAccepted, PaxosCommit, ViewChange
+from .view_change import ViewChangeManager
+
+__all__ = ["PaxosEngine"]
+
+
+class PaxosEngine(ConsensusEngine):
+    """Multi-Paxos ordering engine for one crash-only cluster."""
+
+    def __init__(self, host: ConsensusHost) -> None:
+        super().__init__(host)
+        # f + 1 votes (counting the primary itself) decide a slot.
+        self._accepted = QuorumTracker(host.cluster.f + 1)
+        self.view_change = ViewChangeManager(self, quorum=host.cluster.f + 1)
+
+    # ------------------------------------------------------------------
+    # primary side
+    # ------------------------------------------------------------------
+    def submit(self, item: object) -> int | None:
+        """Order ``item``; only the primary of the current view may call this."""
+        if not self.is_primary:
+            return None
+        slot = self.host.log.allocate()
+        self.propose_at(slot, item)
+        return slot
+
+    def propose_at(self, slot: int, item: object) -> None:
+        """Propose ``item`` at an explicit slot (used by view changes too)."""
+        digest = item_digest(item)
+        self.host.log.record_pending(slot, digest, item, view=self.view, proposer=self.cluster_id)
+        message = PaxosAccept(view=self.view, slot=slot, digest=digest, item=item)
+        self.host.multicast_cluster(message)
+        # The primary's own vote counts toward the f + 1 majority.
+        self._accepted.vote((self.view, slot, digest), self.host.node_id)
+        self.view_change.monitor_slot(slot)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: object, src: int) -> bool:
+        """Dispatch one protocol message; returns ``True`` if consumed."""
+        if isinstance(message, PaxosAccept):
+            self._on_accept(message, src)
+        elif isinstance(message, PaxosAccepted):
+            self._on_accepted(message, src)
+        elif isinstance(message, PaxosCommit):
+            self._on_commit(message, src)
+        elif isinstance(message, ViewChange):
+            self.view_change.handle_view_change(message, src)
+        elif isinstance(message, NewView):
+            self.view_change.handle_new_view(message, src)
+        else:
+            return False
+        return True
+
+    def _on_accept(self, message: PaxosAccept, src: int) -> None:
+        if src != self.host.cluster.primary_for_view(message.view):
+            return
+        if message.view < self.view:
+            return
+        if message.view > self.view:
+            # The cluster moved on without us; adopt the newer view.
+            self.view = message.view
+        try:
+            self.host.log.record_pending(
+                message.slot, message.digest, message.item, view=message.view,
+                proposer=self.cluster_id,
+            )
+        except Exception:
+            # The slot already holds a different digest; do not vote.
+            return
+        self.view_change.monitor_slot(message.slot)
+        reply = PaxosAccepted(
+            view=message.view, slot=message.slot, digest=message.digest, node=self.host.node_id
+        )
+        self.host.send_to(self.host.cluster.primary_for_view(message.view), reply)
+
+    def _on_accepted(self, message: PaxosAccepted, src: int) -> None:
+        if not self.is_primary or message.view != self.view:
+            return
+        key = (message.view, message.slot, message.digest)
+        if not self._accepted.vote(key, src):
+            return
+        entry = self.host.log.entry(message.slot)
+        item = entry.item if entry is not None else None
+        if item is None:
+            return
+        self.host.log.decide(
+            message.slot, message.digest, item,
+            proposer=self.cluster_id, view=message.view,
+        )
+        self.view_change.slot_decided(message.slot)
+        commit = PaxosCommit(
+            view=message.view, slot=message.slot, digest=message.digest, item=item
+        )
+        self.host.multicast_cluster(commit)
+        self.host.after_decide()
+
+    def _on_commit(self, message: PaxosCommit, src: int) -> None:
+        if src != self.host.cluster.primary_for_view(message.view):
+            return
+        self.host.log.decide(
+            message.slot, message.digest, message.item,
+            proposer=self.cluster_id, view=message.view,
+        )
+        self.view_change.slot_decided(message.slot)
+        self.host.after_decide()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def undecided_count(self) -> int:
+        """Number of slots accepted but not yet decided at this replica."""
+        return sum(
+            1
+            for entry in self.host.log.entries()
+            if entry.status is EntryStatus.PENDING
+        )

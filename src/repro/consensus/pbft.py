@@ -1,0 +1,147 @@
+"""Intra-shard consensus for Byzantine clusters (PBFT, Figure 3(b)).
+
+Normal-case operation over a cluster of ``3f + 1`` nodes:
+
+1. the primary assigns the next sequence number and multicasts a signed
+   ``pre-prepare``;
+2. every replica that accepts the pre-prepare multicasts a signed
+   ``prepare``; a replica is *prepared* once it holds ``2f + 1`` matching
+   prepares (its own included);
+3. prepared replicas multicast a signed ``commit``; a slot is decided at a
+   replica once it holds ``2f + 1`` matching commits.
+
+Replicas execute decided slots in order and reply to the client, which
+waits for ``f + 1`` matching replies.  The view-change path is shared
+with the Paxos engine (:class:`~repro.consensus.view_change.ViewChangeManager`).
+"""
+
+from __future__ import annotations
+
+from .base import ConsensusEngine, ConsensusHost, QuorumTracker
+from .log import EntryStatus, item_digest
+from .messages import NewView, PBFTCommit, PrePrepare, Prepare, ViewChange
+from .view_change import ViewChangeManager
+
+__all__ = ["PBFTEngine"]
+
+
+class PBFTEngine(ConsensusEngine):
+    """PBFT ordering engine for one Byzantine cluster."""
+
+    def __init__(self, host: ConsensusHost) -> None:
+        super().__init__(host)
+        quorum = 2 * host.cluster.f + 1
+        self._prepares = QuorumTracker(quorum)
+        self._commits = QuorumTracker(quorum)
+        self._items: dict[tuple[int, int, str], object] = {}
+        self.view_change = ViewChangeManager(self, quorum=quorum)
+
+    # ------------------------------------------------------------------
+    # primary side
+    # ------------------------------------------------------------------
+    def submit(self, item: object) -> int | None:
+        """Order ``item``; only the primary of the current view may call this."""
+        if not self.is_primary:
+            return None
+        slot = self.host.log.allocate()
+        self.propose_at(slot, item)
+        return slot
+
+    def propose_at(self, slot: int, item: object) -> None:
+        """Send the pre-prepare for ``item`` at an explicit slot."""
+        digest = item_digest(item)
+        self.host.log.record_pending(slot, digest, item, view=self.view, proposer=self.cluster_id)
+        key = (self.view, slot, digest)
+        self._items[key] = item
+        self.host.multicast_cluster(
+            PrePrepare(view=self.view, slot=slot, digest=digest, item=item)
+        )
+        self.view_change.monitor_slot(slot)
+        # The primary's pre-prepare counts as its prepare vote.
+        self._record_prepare_vote(key, self.host.node_id)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: object, src: int) -> bool:
+        """Dispatch one protocol message; returns ``True`` if consumed."""
+        if isinstance(message, PrePrepare):
+            self._on_pre_prepare(message, src)
+        elif isinstance(message, Prepare):
+            self._on_prepare(message, src)
+        elif isinstance(message, PBFTCommit):
+            self._on_commit(message, src)
+        elif isinstance(message, ViewChange):
+            self.view_change.handle_view_change(message, src)
+        elif isinstance(message, NewView):
+            self.view_change.handle_new_view(message, src)
+        else:
+            return False
+        return True
+
+    def _on_pre_prepare(self, message: PrePrepare, src: int) -> None:
+        if src != self.host.cluster.primary_for_view(message.view):
+            return
+        if message.view < self.view:
+            return
+        if message.view > self.view:
+            self.view = message.view
+        try:
+            self.host.log.record_pending(
+                message.slot, message.digest, message.item, view=message.view,
+                proposer=self.cluster_id,
+            )
+        except Exception:
+            # A different digest already occupies the slot: do not prepare.
+            return
+        key = (message.view, message.slot, message.digest)
+        self._items[key] = message.item
+        self.view_change.monitor_slot(message.slot)
+        prepare = Prepare(
+            view=message.view, slot=message.slot, digest=message.digest, node=self.host.node_id
+        )
+        self.host.multicast_cluster(prepare)
+        self._record_prepare_vote(key, self.host.node_id)
+
+    def _on_prepare(self, message: Prepare, src: int) -> None:
+        key = (message.view, message.slot, message.digest)
+        self._record_prepare_vote(key, src)
+
+    def _record_prepare_vote(self, key: tuple[int, int, str], voter: int) -> None:
+        if not self._prepares.vote(key, voter):
+            return
+        # Prepared: multicast commit and count our own commit vote.
+        view, slot, digest = key
+        commit = PBFTCommit(view=view, slot=slot, digest=digest, node=self.host.node_id)
+        self.host.multicast_cluster(commit)
+        self._record_commit_vote(key, self.host.node_id)
+
+    def _on_commit(self, message: PBFTCommit, src: int) -> None:
+        key = (message.view, message.slot, message.digest)
+        self._record_commit_vote(key, src)
+
+    def _record_commit_vote(self, key: tuple[int, int, str], voter: int) -> None:
+        if not self._commits.vote(key, voter):
+            return
+        view, slot, digest = key
+        item = self._items.get(key)
+        if item is None:
+            entry = self.host.log.entry(slot)
+            if entry is None or entry.digest != digest:
+                return
+            item = entry.item
+        self.host.log.decide(slot, digest, item, proposer=self.cluster_id, view=view)
+        self.view_change.slot_decided(slot)
+        self.host.after_decide()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def undecided_count(self) -> int:
+        """Number of slots pre-prepared but not yet decided at this replica."""
+        return sum(
+            1
+            for entry in self.host.log.entries()
+            if entry.status is EntryStatus.PENDING
+        )

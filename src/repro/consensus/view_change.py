@@ -1,0 +1,177 @@
+"""Primary fail-over (view change) for the intra-shard protocols.
+
+The paper (Sections 3.2/3.3) triggers a view change by timeout: a backup
+that accepted a proposal starts a timer and suspects the primary if no
+commit arrives before it expires.  Replicas exchange ``view-change``
+messages; once enough replicas agree, the next primary (round-robin over
+the cluster members) installs the new view, re-proposes the uncommitted
+slots it learned about, fills unknown gaps with no-ops, and resumes
+handling client requests.
+
+The implementation is deliberately simplified compared to full PBFT view
+changes (no new-view certificates or checkpoint proofs); it preserves the
+behaviour the tests and experiments need: a crashed primary is detected,
+a new primary takes over, in-flight slots are resolved, and the cluster
+keeps committing transactions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import TYPE_CHECKING
+
+from ..sim.simulator import Timer
+from .base import QuorumTracker
+from .log import EntryStatus, Noop, item_digest
+from .messages import NewView, ViewChange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import ConsensusEngine
+
+__all__ = ["ViewChangeManager"]
+
+
+class ViewChangeManager:
+    """Drives timer-based primary fail-over for one consensus engine."""
+
+    def __init__(self, engine: "ConsensusEngine", quorum: int) -> None:
+        self.engine = engine
+        self.quorum = quorum
+        self._tracker = QuorumTracker(quorum)
+        self._reports: dict[int, dict[int, ViewChange]] = defaultdict(dict)
+        self._slot_timers: dict[int, Timer] = {}
+        self.in_view_change = False
+        self.view_changes_completed = 0
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def monitor_slot(self, slot: int) -> None:
+        """Start the commit timer for a slot this replica has accepted."""
+        if slot in self._slot_timers:
+            return
+        host = self.engine.host
+        self._slot_timers[slot] = host.set_timer(
+            host.view_change_timeout, self._on_slot_timeout, slot
+        )
+
+    def slot_decided(self, slot: int) -> None:
+        """Cancel the commit timer once the slot is decided."""
+        timer = self._slot_timers.pop(slot, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_slot_timeout(self, slot: int) -> None:
+        self._slot_timers.pop(slot, None)
+        entry = self.engine.host.log.entry(slot)
+        if entry is not None and entry.status is not EntryStatus.PENDING:
+            return
+        self.suspect_primary()
+
+    # ------------------------------------------------------------------
+    # initiating a view change
+    # ------------------------------------------------------------------
+    def suspect_primary(self) -> None:
+        """Broadcast a view-change vote for the next view."""
+        if self.in_view_change:
+            return
+        self.in_view_change = True
+        new_view = self.engine.view + 1
+        message = self._build_view_change(new_view)
+        self.engine.host.multicast_cluster(message)
+        self.handle_view_change(message, self.engine.host.node_id)
+
+    def _build_view_change(self, new_view: int) -> ViewChange:
+        log = self.engine.host.log
+        decided = []
+        accepted = []
+        for entry in log.entries():
+            if entry.status is EntryStatus.PENDING:
+                accepted.append((entry.slot, entry.digest, entry.item))
+            else:
+                decided.append((entry.slot, entry.digest))
+                accepted.append((entry.slot, entry.digest, entry.item))
+        return ViewChange(
+            new_view=new_view,
+            node=self.engine.host.node_id,
+            decided=tuple(decided),
+            accepted=tuple(accepted),
+        )
+
+    # ------------------------------------------------------------------
+    # handling votes
+    # ------------------------------------------------------------------
+    def handle_view_change(self, message: ViewChange, src: int) -> None:
+        """Record a view-change vote; install the view once quorum is reached."""
+        if message.new_view <= self.engine.view:
+            return
+        self._reports[message.new_view][src] = message
+        if not self._tracker.vote(("vc", message.new_view), src):
+            return
+        new_primary = self.engine.host.cluster.primary_for_view(message.new_view)
+        if self.engine.host.node_id == new_primary:
+            self._install_as_primary(message.new_view)
+
+    def handle_new_view(self, message: NewView, src: int) -> None:
+        """Adopt a new view announced by its primary."""
+        expected_primary = self.engine.host.cluster.primary_for_view(message.view)
+        if src != expected_primary or message.view <= self.engine.view:
+            return
+        self._enter_view(message.view)
+
+    # ------------------------------------------------------------------
+    # installing the new view
+    # ------------------------------------------------------------------
+    def _enter_view(self, view: int) -> None:
+        self.engine.view = view
+        self.in_view_change = False
+        self.view_changes_completed += 1
+        for timer in self._slot_timers.values():
+            timer.cancel()
+        self._slot_timers.clear()
+
+    def _install_as_primary(self, view: int) -> None:
+        """Become the primary of ``view``: announce it and resolve open slots."""
+        reports = self._reports.get(view, {})
+        self._enter_view(view)
+        host = self.engine.host
+        host.multicast_cluster(NewView(view=view, node=host.node_id, entries=()))
+
+        # Determine what needs re-proposing: every slot up to the highest
+        # slot any replica has heard of that this primary has not applied.
+        highest = host.log.next_slot - 1
+        decided_digest: dict[int, str] = {}
+        candidates: dict[int, Counter] = defaultdict(Counter)
+        items_by_digest: dict[str, object] = {}
+        for report in reports.values():
+            for slot, digest in report.decided:
+                highest = max(highest, slot)
+                decided_digest[slot] = digest
+            for slot, digest, item in report.accepted:
+                highest = max(highest, slot)
+                candidates[slot][digest] += 1
+                items_by_digest[digest] = item
+
+        for slot in range(host.log.next_apply, highest + 1):
+            entry = host.log.entry(slot)
+            if entry is not None and entry.status is not EntryStatus.PENDING:
+                continue
+            if slot in decided_digest and decided_digest[slot] in items_by_digest:
+                item = items_by_digest[decided_digest[slot]]
+            elif entry is not None:
+                item = entry.item
+            elif candidates.get(slot):
+                best_digest, _ = candidates[slot].most_common(1)[0]
+                item = items_by_digest[best_digest]
+            else:
+                item = Noop(reason=f"view-change-{view}-slot-{slot}")
+            host.log.observe(slot)
+            self.engine.propose_at(slot, item)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_slot_count(self) -> int:
+        """Number of slots currently monitored by commit timers."""
+        return len(self._slot_timers)

@@ -1,0 +1,201 @@
+"""Simulated application clients.
+
+The paper drives each system with "an increasing number of clients
+running on a single VM, until the end-to-end throughput is saturated"
+(Section 4).  :class:`ClosedLoopClient` reproduces that methodology: each
+client keeps one request outstanding, waits for the required number of
+matching replies (1 in the crash model, ``f + 1`` in the Byzantine
+model), records the end-to-end latency, and immediately issues the next
+request.  Offered load is therefore controlled by the number of clients.
+
+:class:`OpenLoopClient` issues requests at a fixed rate regardless of
+replies; it is used by a few tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..common.metrics import MetricsCollector
+from ..consensus.messages import ClientReply, ClientRequest
+from ..sim.costs import CostModel
+from ..sim.network import Network
+from ..sim.process import Process
+from ..sim.simulator import Simulator
+from ..txn.transaction import Transaction
+from ..txn.workload import WorkloadGenerator
+
+__all__ = ["ClosedLoopClient", "OpenLoopClient"]
+
+#: Process ids at or above this value are client processes.
+CLIENT_PID_BASE = 1_000_000
+
+
+@dataclass
+class _Outstanding:
+    """Book-keeping for one in-flight request."""
+
+    transaction: Transaction
+    submitted_at: float
+    cross_shard: bool
+    target: int
+    repliers: set[int] = field(default_factory=set)
+    successes: int = 0
+    resend_timer: object | None = None
+    attempts: int = 0
+
+
+class _BaseClient(Process):
+    """Shared machinery for the closed- and open-loop clients."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        network: Network,
+        cost_model: CostModel,
+        workload: WorkloadGenerator,
+        router: Callable[[Transaction], int],
+        metrics: MetricsCollector,
+        required_replies: int = 1,
+        retry_timeout: float = 1.0,
+        fallback_targets: Callable[[Transaction, int], int] | None = None,
+    ) -> None:
+        super().__init__(pid, sim, network, cost_model, name=f"client-{pid}")
+        self.workload = workload
+        self.router = router
+        self.metrics = metrics
+        self.required_replies = required_replies
+        self.retry_timeout = retry_timeout
+        self.fallback_targets = fallback_targets
+        self._outstanding: dict[str, _Outstanding] = {}
+        self.completed = 0
+        self.failed = 0
+        self.resubmissions = 0
+
+    # ------------------------------------------------------------------
+    # issuing requests
+    # ------------------------------------------------------------------
+    def _submit(self, transaction: Transaction) -> None:
+        request = ClientRequest(
+            transaction=transaction,
+            client=transaction.client,
+            timestamp=self.sim.now,
+            reply_to=self.pid,
+        )
+        target = self.router(transaction)
+        cross = len(transaction.involved_shards(self.workload.mapper)) > 1
+        state = _Outstanding(
+            transaction=transaction,
+            submitted_at=self.sim.now,
+            cross_shard=cross,
+            target=target,
+        )
+        self._outstanding[transaction.tx_id] = state
+        self.metrics.record_submission()
+        self.send(target, request)
+        state.resend_timer = self.set_timer(self.retry_timeout, self._resend, transaction.tx_id)
+
+    def _resend(self, tx_id: str) -> None:
+        state = self._outstanding.get(tx_id)
+        if state is None:
+            return
+        state.attempts += 1
+        self.resubmissions += 1
+        if self.fallback_targets is not None:
+            state.target = self.fallback_targets(state.transaction, state.attempts)
+        request = ClientRequest(
+            transaction=state.transaction,
+            client=state.transaction.client,
+            timestamp=state.submitted_at,
+            reply_to=self.pid,
+        )
+        self.send(state.target, request)
+        state.resend_timer = self.set_timer(self.retry_timeout, self._resend, tx_id)
+
+    # ------------------------------------------------------------------
+    # handling replies
+    # ------------------------------------------------------------------
+    def on_message(self, message: object, src: int) -> None:
+        if not isinstance(message, ClientReply):
+            return
+        state = self._outstanding.get(message.tx_id)
+        if state is None:
+            return
+        state.repliers.add(src)
+        if message.success:
+            state.successes += 1
+        if len(state.repliers) < self.required_replies:
+            return
+        # Completed: enough distinct replicas confirmed execution.
+        if state.resend_timer is not None:
+            state.resend_timer.cancel()
+        del self._outstanding[message.tx_id]
+        self.completed += 1
+        if state.successes == 0:
+            self.failed += 1
+        self.metrics.record_commit(
+            tx_id=message.tx_id,
+            submitted_at=state.submitted_at,
+            committed_at=self.sim.now,
+            cross_shard=state.cross_shard,
+        )
+        self.on_request_complete()
+
+    def on_request_complete(self) -> None:
+        """Hook invoked when a request finishes (closed loop issues the next)."""
+
+    @property
+    def outstanding(self) -> int:
+        """Number of requests currently awaiting replies."""
+        return len(self._outstanding)
+
+
+class ClosedLoopClient(_BaseClient):
+    """A client that always keeps exactly one request in flight."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._stopped = False
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Schedule the first request."""
+        self.sim.schedule(initial_delay, self._issue_next)
+
+    def stop(self) -> None:
+        """Stop issuing new requests (the in-flight request still completes)."""
+        self._stopped = True
+
+    def _issue_next(self) -> None:
+        if self.crashed or self._stopped:
+            return
+        self._submit(self.workload.next_transaction(timestamp=self.sim.now))
+
+    def on_request_complete(self) -> None:
+        self._issue_next()
+
+
+class OpenLoopClient(_BaseClient):
+    """A client that issues requests at a fixed rate (requests/second)."""
+
+    def __init__(self, *args, rate: float = 100.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self._stopped = False
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Start issuing requests at the configured rate."""
+        self.sim.schedule(initial_delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop issuing new requests (in-flight requests still complete)."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped or self.crashed:
+            return
+        self._submit(self.workload.next_transaction(timestamp=self.sim.now))
+        self.sim.schedule(1.0 / self.rate, self._tick)

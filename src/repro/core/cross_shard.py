@@ -1,0 +1,514 @@
+"""The flattened cross-shard consensus protocols (Algorithms 1 and 2).
+
+Cross-shard transactions are ordered directly among all — and only — the
+involved clusters, with no reference committee and no commit protocol
+layered on top of intra-shard consensus.  Two variants exist:
+
+* :class:`CrashCrossShardEngine` (Algorithm 1): the initiator primary
+  multicasts a ``propose``; every node of every involved cluster replies
+  with an ``accept``; the initiator collects ``f + 1`` matching accepts
+  per involved cluster and multicasts a ``commit``.
+* :class:`ByzantineCrossShardEngine` (Algorithm 2): same three phases, but
+  accepts and commits are multicast all-to-all among the involved nodes
+  and quorums are ``2f + 1`` per cluster.
+
+Implementation interpretation (documented in DESIGN.md): consensus
+instances are pipelined over per-cluster sequence numbers instead of
+being chained on the literal hash of the previous block.  The position a
+cluster reserves for a cross-shard transaction is assigned by that
+cluster's primary and echoed by its backups; the accept/commit quorums of
+the paper are unchanged.  Non-overlapping cross-shard transactions
+therefore proceed fully in parallel, and transactions that share clusters
+are serialised per cluster by the (single) slot assigner — the role the
+super-primary plays in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..common.errors import ConsensusError
+from ..common.types import ClusterId, NodeId
+from ..consensus.log import item_digest
+from ..consensus.messages import (
+    ClientRequest,
+    CrossAccept,
+    CrossAcceptB,
+    CrossCommit,
+    CrossCommitB,
+    CrossPropose,
+    CrossProposeB,
+)
+from ..sim.simulator import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .replica import SharPerReplica
+
+__all__ = ["CrashCrossShardEngine", "ByzantineCrossShardEngine"]
+
+
+# ----------------------------------------------------------------------
+# crash-only clusters — Algorithm 1
+# ----------------------------------------------------------------------
+@dataclass
+class _CrashState:
+    """Initiator-side bookkeeping for one cross-shard transaction."""
+
+    request: ClientRequest
+    digest: str
+    involved: tuple[ClusterId, ...]
+    attempt: int = 0
+    votes: dict[ClusterId, set[NodeId]] = field(default_factory=dict)
+    slots: dict[ClusterId, int] = field(default_factory=dict)
+    decided: bool = False
+    timer: Timer | None = None
+
+
+class CrashCrossShardEngine:
+    """Algorithm 1: flattened cross-shard consensus for crash-only nodes."""
+
+    def __init__(self, host: "SharPerReplica") -> None:
+        self.host = host
+        self._states: dict[str, _CrashState] = {}
+        self._assigned_slots: dict[str, int] = {}
+        self.initiated = 0
+        self.committed = 0
+        self.retries = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------
+    # initiator side
+    # ------------------------------------------------------------------
+    def start(self, request: ClientRequest) -> None:
+        """Initiate consensus on a cross-shard transaction (primary only)."""
+        digest = item_digest(request)
+        if self.host.log.decided_slot_of(digest) is not None:
+            # Duplicate submission of an already-committed transaction.
+            return
+        involved = self.host.involved_clusters_of(request.transaction)
+        state = self._states.get(digest)
+        if state is None:
+            slot = self._reserve_local_slot(digest, request)
+            state = _CrashState(request=request, digest=digest, involved=involved)
+            state.slots[self.host.cluster_id] = slot
+            state.votes[self.host.cluster_id] = {self.host.node_id}
+            self._states[digest] = state
+            self.initiated += 1
+        self._broadcast_propose(state)
+        self._arm_retry_timer(state)
+
+    def _reserve_local_slot(self, digest: str, request: ClientRequest) -> int:
+        slot = self._assigned_slots.get(digest)
+        if slot is None:
+            slot = self.host.log.allocate()
+            self._assigned_slots[digest] = slot
+        self.host.log.record_pending(slot, digest, request, proposer=self.host.cluster_id)
+        return slot
+
+    def _broadcast_propose(self, state: _CrashState) -> None:
+        message = CrossPropose(
+            digest=state.digest,
+            request=state.request,
+            involved=state.involved,
+            initiator_cluster=self.host.cluster_id,
+            initiator_slot=state.slots[self.host.cluster_id],
+            attempt=state.attempt,
+        )
+        self.host.multicast_nodes(self.host.nodes_of_clusters(state.involved), message)
+
+    def _arm_retry_timer(self, state: _CrashState) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self.host.set_timer(
+            self.host.tuning.conflict_retry_delay * (state.attempt + 1),
+            self._on_retry_timeout,
+            state.digest,
+        )
+
+    def _on_retry_timeout(self, digest: str) -> None:
+        state = self._states.get(digest)
+        if state is None or state.decided:
+            return
+        if state.attempt >= self.host.tuning.max_conflict_retries:
+            self.aborted += 1
+            self.host.on_cross_shard_abort(state.request)
+            return
+        state.attempt += 1
+        self.retries += 1
+        self._broadcast_propose(state)
+        self._arm_retry_timer(state)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: object, src: int) -> bool:
+        """Dispatch one cross-shard protocol message."""
+        if isinstance(message, CrossPropose):
+            self._on_propose(message, src)
+        elif isinstance(message, CrossAccept):
+            self._on_accept(message, src)
+        elif isinstance(message, CrossCommit):
+            self._on_commit(message, src)
+        else:
+            return False
+        return True
+
+    def _on_propose(self, message: CrossPropose, src: int) -> None:
+        digest = message.digest
+        decided_slot = self.host.log.decided_slot_of(digest)
+        if decided_slot is not None:
+            # Already committed here: answer idempotently so a retrying
+            # initiator can complete.
+            reply = CrossAccept(
+                digest=digest,
+                cluster=self.host.cluster_id,
+                node=self.host.node_id,
+                slot=decided_slot,
+                attempt=message.attempt,
+            )
+            self.host.send_to(src, reply)
+            return
+        slot: int | None
+        if message.initiator_cluster == self.host.cluster_id:
+            # Backup of the initiator cluster: the initiator already fixed
+            # the local position.
+            slot = message.initiator_slot
+            self._try_record_pending(slot, digest, message.request)
+        elif self.host.is_cluster_primary:
+            slot = self._assigned_slots.get(digest)
+            if slot is None:
+                slot = self.host.log.allocate()
+                self._assigned_slots[digest] = slot
+            self._try_record_pending(slot, digest, message.request)
+        else:
+            # Backup of a remote involved cluster: it agrees with whatever
+            # position its own primary reserves (learned at commit time).
+            slot = None
+        reply = CrossAccept(
+            digest=digest,
+            cluster=self.host.cluster_id,
+            node=self.host.node_id,
+            slot=slot,
+            attempt=message.attempt,
+        )
+        self.host.send_to(src, reply)
+
+    def _try_record_pending(self, slot: int, digest: str, request: object) -> None:
+        try:
+            self.host.log.record_pending(slot, digest, request, proposer=self.host.cluster_id)
+        except ConsensusError:
+            # The slot is already taken by a different digest; the commit
+            # message will resolve the final assignment.
+            pass
+
+    def _on_accept(self, message: CrossAccept, src: int) -> None:
+        state = self._states.get(message.digest)
+        if state is None or state.decided:
+            return
+        votes = state.votes.setdefault(message.cluster, set())
+        votes.add(NodeId(src))
+        if message.slot is not None:
+            state.slots.setdefault(message.cluster, message.slot)
+        self._maybe_commit(state)
+
+    def _maybe_commit(self, state: _CrashState) -> None:
+        if state.decided:
+            return
+        for cluster in state.involved:
+            quorum = self.host.config.cluster(cluster).cross_quorum
+            if len(state.votes.get(cluster, ())) < quorum:
+                return
+            if cluster not in state.slots:
+                return
+        state.decided = True
+        if state.timer is not None:
+            state.timer.cancel()
+        self.committed += 1
+        positions = dict(state.slots)
+        commit = CrossCommit(
+            digest=state.digest,
+            request=state.request,
+            positions=tuple(sorted(positions.items())),
+            proposer=self.host.cluster_id,
+            attempt=state.attempt,
+        )
+        self.host.multicast_nodes(self.host.nodes_of_clusters(state.involved), commit)
+        self.host.log.decide(
+            positions[self.host.cluster_id],
+            state.digest,
+            state.request,
+            positions=positions,
+            proposer=self.host.cluster_id,
+        )
+        self.host.after_decide()
+
+    def _on_commit(self, message: CrossCommit, src: int) -> None:
+        positions = dict(message.positions)
+        my_slot = positions.get(self.host.cluster_id)
+        if my_slot is None:
+            return
+        self.host.log.decide(
+            my_slot,
+            message.digest,
+            message.request,
+            positions=positions,
+            proposer=message.proposer,
+        )
+        self.host.after_decide()
+
+
+# ----------------------------------------------------------------------
+# Byzantine clusters — Algorithm 2
+# ----------------------------------------------------------------------
+@dataclass
+class _ByzState:
+    """Per-node bookkeeping for one cross-shard transaction (Algorithm 2)."""
+
+    digest: str
+    request: ClientRequest | None = None
+    involved: tuple[ClusterId, ...] = ()
+    initiator_cluster: ClusterId | None = None
+    attempt: int = 0
+    #: accept votes: cluster → slot → voters.
+    accept_votes: dict[ClusterId, dict[int, set[NodeId]]] = field(default_factory=dict)
+    #: slot confirmed (2f+1 accepts) per cluster.
+    confirmed_slots: dict[ClusterId, int] = field(default_factory=dict)
+    #: slot announced by each cluster's primary (trusted provisionally).
+    announced_slots: dict[ClusterId, int] = field(default_factory=dict)
+    #: commit votes: cluster → voters.
+    commit_votes: dict[ClusterId, set[NodeId]] = field(default_factory=dict)
+    accept_sent: bool = False
+    commit_sent: bool = False
+    decided: bool = False
+    timer: Timer | None = None
+
+
+class ByzantineCrossShardEngine:
+    """Algorithm 2: flattened cross-shard consensus for Byzantine nodes."""
+
+    def __init__(self, host: "SharPerReplica") -> None:
+        self.host = host
+        self._states: dict[str, _ByzState] = {}
+        self._assigned_slots: dict[str, int] = {}
+        self.initiated = 0
+        self.committed = 0
+        self.retries = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------
+    # initiator side
+    # ------------------------------------------------------------------
+    def start(self, request: ClientRequest) -> None:
+        """Initiate consensus on a cross-shard transaction (primary only)."""
+        digest = item_digest(request)
+        if self.host.log.decided_slot_of(digest) is not None:
+            return
+        involved = self.host.involved_clusters_of(request.transaction)
+        state = self._state(digest)
+        if state.request is None:
+            slot = self._assigned_slots.get(digest)
+            if slot is None:
+                slot = self.host.log.allocate()
+                self._assigned_slots[digest] = slot
+            state.request = request
+            state.involved = involved
+            state.initiator_cluster = self.host.cluster_id
+            state.announced_slots[self.host.cluster_id] = slot
+            self._try_record_pending(slot, digest, request)
+            self.initiated += 1
+        propose = CrossProposeB(
+            digest=digest,
+            request=request,
+            involved=involved,
+            initiator_cluster=self.host.cluster_id,
+            initiator_slot=state.announced_slots[self.host.cluster_id],
+            attempt=state.attempt,
+        )
+        self.host.multicast_nodes(self.host.nodes_of_clusters(involved), propose)
+        self._send_accept(state)
+        self._arm_retry_timer(state)
+
+    def _state(self, digest: str) -> _ByzState:
+        state = self._states.get(digest)
+        if state is None:
+            state = _ByzState(digest=digest)
+            self._states[digest] = state
+        return state
+
+    def _try_record_pending(self, slot: int, digest: str, request: object) -> None:
+        try:
+            self.host.log.record_pending(slot, digest, request, proposer=self.host.cluster_id)
+        except ConsensusError:
+            pass
+
+    def _arm_retry_timer(self, state: _ByzState) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+        state.timer = self.host.set_timer(
+            self.host.tuning.conflict_retry_delay * (state.attempt + 1),
+            self._on_retry_timeout,
+            state.digest,
+        )
+
+    def _on_retry_timeout(self, digest: str) -> None:
+        state = self._states.get(digest)
+        if state is None or state.decided or state.request is None:
+            return
+        if state.initiator_cluster != self.host.cluster_id or not self.host.is_cluster_primary:
+            return
+        if state.attempt >= self.host.tuning.max_conflict_retries:
+            self.aborted += 1
+            self.host.on_cross_shard_abort(state.request)
+            return
+        state.attempt += 1
+        self.retries += 1
+        self.start(state.request)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: object, src: int) -> bool:
+        """Dispatch one cross-shard protocol message."""
+        if isinstance(message, CrossProposeB):
+            self._on_propose(message, src)
+        elif isinstance(message, CrossAcceptB):
+            self._on_accept(message, src)
+        elif isinstance(message, CrossCommitB):
+            self._on_commit(message, src)
+        else:
+            return False
+        return True
+
+    def _on_propose(self, message: CrossProposeB, src: int) -> None:
+        expected = self.host.primary_pid_of(message.initiator_cluster)
+        if src != expected:
+            # Only the initiator cluster's primary may propose.
+            return
+        state = self._state(message.digest)
+        state.request = message.request
+        state.involved = message.involved
+        state.initiator_cluster = message.initiator_cluster
+        state.attempt = max(state.attempt, message.attempt)
+        state.announced_slots[message.initiator_cluster] = message.initiator_slot
+        if self.host.log.decided_slot_of(message.digest) is not None:
+            return
+        my_cluster = self.host.cluster_id
+        if my_cluster == message.initiator_cluster:
+            state.announced_slots[my_cluster] = message.initiator_slot
+            self._try_record_pending(message.initiator_slot, message.digest, message.request)
+        elif self.host.is_cluster_primary and my_cluster not in state.announced_slots:
+            slot = self._assigned_slots.get(message.digest)
+            if slot is None:
+                slot = self.host.log.allocate()
+                self._assigned_slots[message.digest] = slot
+            state.announced_slots[my_cluster] = slot
+            self._try_record_pending(slot, message.digest, message.request)
+        self._send_accept(state)
+
+    def _send_accept(self, state: _ByzState) -> None:
+        """Multicast this node's accept once it knows its cluster's slot."""
+        if state.accept_sent or state.request is None:
+            return
+        my_cluster = self.host.cluster_id
+        slot = state.announced_slots.get(my_cluster)
+        if slot is None:
+            # Backups wait until their cluster primary announces the slot
+            # (via its own accept message).
+            return
+        state.accept_sent = True
+        self._try_record_pending(slot, state.digest, state.request)
+        accept = CrossAcceptB(
+            digest=state.digest,
+            cluster=my_cluster,
+            node=self.host.node_id,
+            slot=slot,
+            attempt=state.attempt,
+        )
+        self.host.multicast_nodes(self.host.nodes_of_clusters(state.involved), accept)
+        self._register_accept(state, my_cluster, slot, self.host.node_id)
+
+    def _on_accept(self, message: CrossAcceptB, src: int) -> None:
+        state = self._state(message.digest)
+        if message.slot is None:
+            return
+        # Backups learn their cluster's slot from their primary's accept.
+        if (
+            message.cluster == self.host.cluster_id
+            and src == self.host.primary_pid_of(message.cluster)
+        ):
+            state.announced_slots.setdefault(message.cluster, message.slot)
+            self._send_accept(state)
+        self._register_accept(state, message.cluster, message.slot, NodeId(src))
+
+    def _register_accept(
+        self, state: _ByzState, cluster: ClusterId, slot: int, voter: NodeId
+    ) -> None:
+        per_cluster = state.accept_votes.setdefault(cluster, {})
+        voters = per_cluster.setdefault(slot, set())
+        voters.add(voter)
+        quorum = self.host.config.cluster(cluster).cross_quorum
+        if len(voters) >= quorum:
+            state.confirmed_slots.setdefault(cluster, slot)
+        self._maybe_send_commit(state)
+
+    def _maybe_send_commit(self, state: _ByzState) -> None:
+        if state.commit_sent or state.decided or state.request is None or not state.involved:
+            return
+        if any(cluster not in state.confirmed_slots for cluster in state.involved):
+            return
+        state.commit_sent = True
+        positions = {cluster: state.confirmed_slots[cluster] for cluster in state.involved}
+        commit = CrossCommitB(
+            digest=state.digest,
+            cluster=self.host.cluster_id,
+            node=self.host.node_id,
+            positions=tuple(sorted(positions.items())),
+            attempt=state.attempt,
+        )
+        self.host.multicast_nodes(self.host.nodes_of_clusters(state.involved), commit)
+        self._register_commit(state, self.host.cluster_id, self.host.node_id)
+
+    def _on_commit(self, message: CrossCommitB, src: int) -> None:
+        state = self._state(message.digest)
+        for cluster, slot in message.positions:
+            state.confirmed_slots.setdefault(cluster, slot)
+        if not state.involved:
+            state.involved = tuple(cluster for cluster, _ in message.positions)
+        self._register_commit(state, message.cluster, NodeId(src))
+
+    def _register_commit(self, state: _ByzState, cluster: ClusterId, voter: NodeId) -> None:
+        voters = state.commit_votes.setdefault(cluster, set())
+        voters.add(voter)
+        self._maybe_decide(state)
+
+    def _maybe_decide(self, state: _ByzState) -> None:
+        if state.decided or state.request is None or not state.involved:
+            return
+        for cluster in state.involved:
+            quorum = self.host.config.cluster(cluster).cross_quorum
+            if len(state.commit_votes.get(cluster, ())) < quorum:
+                return
+            if cluster not in state.confirmed_slots:
+                return
+        state.decided = True
+        if state.timer is not None:
+            state.timer.cancel()
+        self.committed += 1
+        positions = {cluster: state.confirmed_slots[cluster] for cluster in state.involved}
+        my_slot = positions.get(self.host.cluster_id)
+        if my_slot is None:
+            return
+        proposer = (
+            state.initiator_cluster
+            if state.initiator_cluster is not None
+            else self.host.cluster_id
+        )
+        self.host.log.decide(
+            my_slot,
+            state.digest,
+            state.request,
+            positions=positions,
+            proposer=proposer,
+        )
+        self.host.after_decide()

@@ -1,0 +1,277 @@
+"""The SharPer replica: one node of one cluster.
+
+A replica glues together everything a node of the paper's system runs:
+
+* the intra-shard consensus engine (Paxos for crash-only clusters, PBFT
+  for Byzantine clusters — Section 3.1);
+* the flattened cross-shard consensus engine (Algorithm 1 or 2);
+* one :class:`~repro.consensus.log.OrderingLog`, shared by both engines,
+  so intra- and cross-shard transactions of the cluster are totally
+  ordered together;
+* the cluster's view of the DAG ledger and the shard's account store,
+  updated strictly in slot order;
+* client reply handling (the primary replies in the crash model, every
+  replica replies in the Byzantine model, where clients wait for ``f + 1``
+  matching replies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from ..common.config import ClusterConfig, SystemConfig
+from ..common.types import ClusterId, FaultModel, NodeId
+from ..consensus.log import Noop, OrderingLog, item_digest
+from ..consensus.messages import ClientReply, ClientRequest
+from ..consensus.paxos import PaxosEngine
+from ..consensus.pbft import PBFTEngine
+from ..ledger.block import Block
+from ..ledger.view import ClusterView
+from ..sim.costs import CostModel
+from ..sim.network import Network
+from ..sim.process import Process
+from ..sim.simulator import Simulator
+from ..txn.accounts import AccountStore, ShardMapper
+from ..txn.execution import TransactionExecutor
+from ..txn.transaction import Transaction
+from . import sharding
+from .cross_shard import ByzantineCrossShardEngine, CrashCrossShardEngine
+
+__all__ = ["SharPerReplica"]
+
+
+class SharPerReplica(Process):
+    """One SharPer node: intra-shard + cross-shard consensus + ledger view."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        cluster: ClusterConfig,
+        config: SystemConfig,
+        mapper: ShardMapper,
+        store: AccountStore,
+        sim: Simulator,
+        network: Network,
+        cost_model: CostModel,
+    ) -> None:
+        super().__init__(
+            pid=int(node_id),
+            sim=sim,
+            network=network,
+            cost_model=cost_model,
+            name=f"replica-{node_id}@p{cluster.cluster_id}",
+        )
+        self.node_id = node_id
+        self.cluster = cluster
+        self.config = config
+        self.mapper = mapper
+        self.tuning = config.tuning
+        self.log = OrderingLog(cluster.cluster_id)
+        self.chain = ClusterView(cluster.cluster_id)
+        self.store = store
+        self.executor = TransactionExecutor(
+            store, mapper, sharding.cluster_to_shard(cluster.cluster_id)
+        )
+        if cluster.fault_model is FaultModel.CRASH:
+            self.intra = PaxosEngine(self)
+            self.cross = CrashCrossShardEngine(self)
+        else:
+            self.intra = PBFTEngine(self)
+            self.cross = ByzantineCrossShardEngine(self)
+        self.committed_count = 0
+        self.committed_cross_count = 0
+        self.failed_executions = 0
+        self.forwarded_requests = 0
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def cluster_id(self) -> ClusterId:
+        """Identifier of the cluster (and shard) this replica belongs to."""
+        return self.cluster.cluster_id
+
+    @property
+    def is_cluster_primary(self) -> bool:
+        """Whether this replica is the primary of its cluster's current view."""
+        return self.intra.is_primary
+
+    @property
+    def view_change_timeout(self) -> float:
+        """Timeout used by the view-change manager (ConsensusHost interface)."""
+        return self.tuning.view_change_timeout
+
+    def primary_pid_of(self, cluster_id: ClusterId) -> int:
+        """Process id of the primary of ``cluster_id``.
+
+        For the local cluster the current view is used; remote clusters are
+        assumed to be in their initial view (a remote view change is
+        discovered through forwarding).
+        """
+        if cluster_id == self.cluster_id:
+            return int(self.cluster.primary_for_view(self.intra.view))
+        return int(self.config.cluster(cluster_id).primary)
+
+    def nodes_of_clusters(self, clusters: Iterable[ClusterId]) -> list[int]:
+        """Process ids of every node of the given clusters."""
+        return [
+            int(node)
+            for cluster_id in clusters
+            for node in self.config.cluster(cluster_id).node_ids
+        ]
+
+    def involved_clusters_of(self, transaction: Transaction) -> tuple[ClusterId, ...]:
+        """Clusters whose shards ``transaction`` accesses."""
+        return sharding.involved_clusters(transaction, self.mapper)
+
+    # ------------------------------------------------------------------
+    # ConsensusHost / cross-shard host interface
+    # ------------------------------------------------------------------
+    def multicast_cluster(self, message: object) -> None:
+        """Send ``message`` to every other node of this cluster."""
+        self.multicast([int(node) for node in self.cluster.node_ids], message)
+
+    def multicast_nodes(self, nodes: list[int], message: object) -> None:
+        """Send ``message`` to an explicit set of nodes (self excluded)."""
+        self.multicast(nodes, message)
+
+    def send_to(self, node_id: int, message: object) -> None:
+        """Send ``message`` to one node."""
+        self.send(int(node_id), message)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message: object, src: int) -> None:
+        """Route incoming messages to the client, cross, or intra handlers."""
+        if isinstance(message, ClientRequest):
+            self._on_client_request(message, src)
+            return
+        if self.cross.handle(message, src):
+            return
+        self.intra.handle(message, src)
+
+    def _on_client_request(self, request: ClientRequest, src: int) -> None:
+        if request.reply_to < 0:
+            request = replace(request, reply_to=src)
+        transaction = request.transaction
+        if self.chain.contains_tx(transaction.tx_id):
+            # Duplicate of an already-committed transaction: reply directly.
+            self._send_reply(request, success=True, cross_shard=False)
+            return
+        involved = self.involved_clusters_of(transaction)
+        if len(involved) == 1:
+            self._handle_intra_request(request, involved[0])
+        else:
+            self._handle_cross_request(request, involved)
+
+    def _handle_intra_request(self, request: ClientRequest, target: ClusterId) -> None:
+        if target != self.cluster_id:
+            self._forward(request, self.primary_pid_of(target))
+            return
+        if not self.is_cluster_primary:
+            self._forward(request, self.primary_pid_of(self.cluster_id))
+            return
+        self.intra.submit(request)
+
+    def _handle_cross_request(
+        self, request: ClientRequest, involved: tuple[ClusterId, ...]
+    ) -> None:
+        initiator = sharding.initiator_cluster(
+            request.transaction,
+            self.mapper,
+            use_super_primary=self.tuning.use_super_primary,
+            fallback=self.cluster_id,
+        )
+        if initiator != self.cluster_id:
+            self._forward(request, self.primary_pid_of(initiator))
+            return
+        if not self.is_cluster_primary:
+            self._forward(request, self.primary_pid_of(self.cluster_id))
+            return
+        self.cross.start(request)
+
+    def _forward(self, request: ClientRequest, destination: int) -> None:
+        if destination == self.pid:
+            return
+        self.forwarded_requests += 1
+        self.send(destination, request)
+
+    # ------------------------------------------------------------------
+    # applying decided slots
+    # ------------------------------------------------------------------
+    def after_decide(self) -> None:
+        """Apply every decided slot that is next in line (in slot order)."""
+        for entry in self.log.pop_applicable():
+            self._apply(entry)
+
+    def _apply(self, entry) -> None:
+        positions = entry.positions or {self.cluster_id: entry.slot}
+        parents = {self.cluster_id: self.chain.head_hash}
+        proposer = entry.proposer if entry.proposer is not None else self.cluster_id
+        self.charge(self.cost_model.append_cost)
+        item = entry.item
+        if isinstance(item, ClientRequest):
+            transaction = item.transaction
+            self.charge(self.cost_model.execution_cost)
+            result = self.executor.execute(transaction)
+            if not result.success:
+                self.failed_executions += 1
+            block = Block.create(transaction, positions, proposer=proposer, parents=parents)
+            self.chain.append(block)
+            self.committed_count += 1
+            cross = len(positions) > 1
+            if cross:
+                self.committed_cross_count += 1
+            if self._should_reply(proposer):
+                self._send_reply(item, success=result.success, cross_shard=cross)
+        elif isinstance(item, Noop):
+            block = Block.noop(positions, proposer=proposer, parents=parents)
+            self.chain.append(block)
+        else:
+            self.on_marker_applied(entry, positions, parents, proposer)
+
+    def on_marker_applied(self, entry, positions, parents, proposer) -> None:
+        """Hook for subclasses that order protocol markers (e.g. AHL's 2PC).
+
+        The base replica never orders markers; fill the slot with a no-op
+        block so the chain stays contiguous if one ever appears.
+        """
+        self.chain.append(Block.noop(positions, proposer=proposer, parents=parents))
+
+    # ------------------------------------------------------------------
+    # client replies
+    # ------------------------------------------------------------------
+    def _should_reply(self, proposer: ClusterId) -> bool:
+        if self.cluster.fault_model is FaultModel.BYZANTINE:
+            return True
+        # Crash model: only the primary of the initiating cluster replies.
+        return self.is_cluster_primary and proposer == self.cluster_id
+
+    def _send_reply(self, request: ClientRequest, success: bool, cross_shard: bool) -> None:
+        if request.reply_to < 0:
+            return
+        reply = ClientReply(
+            tx_id=request.transaction.tx_id,
+            node=self.node_id,
+            cluster=self.cluster_id,
+            view=self.intra.view,
+            success=success,
+            cross_shard=cross_shard,
+        )
+        self.send(request.reply_to, reply)
+
+    def on_cross_shard_abort(self, request: ClientRequest) -> None:
+        """Notify the client that a cross-shard transaction was given up on."""
+        if request.reply_to < 0:
+            return
+        reply = ClientReply(
+            tx_id=request.transaction.tx_id,
+            node=self.node_id,
+            cluster=self.cluster_id,
+            view=self.intra.view,
+            success=False,
+            cross_shard=True,
+        )
+        self.send(request.reply_to, reply)

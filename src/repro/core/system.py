@@ -1,0 +1,311 @@
+"""System builders: wire replicas, network, and state into a runnable system.
+
+:class:`BaseSystem` owns the simulation scaffolding every evaluated system
+shares (simulator, network, cost model, account bootstrap, client
+spawning); :class:`SharPerSystem` builds the paper's system — one cluster
+per shard, each cluster running intra-shard consensus plus the flattened
+cross-shard protocol.  The baselines in :mod:`repro.baselines` subclass
+:class:`BaseSystem` the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from ..common.config import SystemConfig
+from ..common.errors import ConfigurationError
+from ..common.metrics import MetricsCollector
+from ..common.types import AccountId, ClientId, ClusterId, FaultModel
+from ..ledger.validation import AuditReport, audit_views
+from ..ledger.view import ClusterView
+from ..sim.costs import CostModel
+from ..sim.network import ClusteredLatencyModel, Network
+from ..sim.process import Process
+from ..sim.simulator import Simulator
+from ..txn.accounts import AccountStore, ShardMapper
+from ..txn.transaction import Transaction
+from ..txn.workload import WorkloadConfig, WorkloadGenerator
+from . import sharding
+from .client import CLIENT_PID_BASE, ClosedLoopClient, OpenLoopClient
+from .replica import SharPerReplica
+
+__all__ = ["BaseSystem", "SharPerSystem"]
+
+
+class BaseSystem:
+    """Scaffolding shared by SharPer and every baseline system."""
+
+    #: human-readable name used by the benchmark reports.
+    name = "base"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload_config: WorkloadConfig,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.workload_config = workload_config
+        self.seed = config.seed if seed is None else seed
+        self.sim = Simulator(seed=self.seed)
+        cluster_of = {
+            int(node): int(cluster.cluster_id)
+            for cluster in config.clusters
+            for node in cluster.node_ids
+        }
+        self.latency_model = ClusteredLatencyModel(
+            config.performance, cluster_of, rng=self.sim.rng
+        )
+        self.network = Network(self.sim, self.latency_model)
+        self.cost_model = CostModel(config.performance)
+        #: mapper used by the workload (one shard per cluster).
+        self.workload_mapper = ShardMapper(
+            num_shards=config.num_clusters,
+            accounts_per_shard=workload_config.accounts_per_shard,
+        )
+        self.clients: list[ClosedLoopClient | OpenLoopClient] = []
+
+    # ------------------------------------------------------------------
+    # account bootstrap
+    # ------------------------------------------------------------------
+    def owner_of(self, account_id: AccountId) -> ClientId:
+        """Application client owning ``account_id`` (matches the workload)."""
+        return ClientId(account_id % self.workload_config.num_clients)
+
+    def _bootstrap_store(self, mapper: ShardMapper, shard: int) -> AccountStore:
+        owner_of = {
+            AccountId(raw): self.owner_of(AccountId(raw))
+            for raw in mapper.accounts_in_shard(shard)
+        }
+        return AccountStore.bootstrap(
+            shard=shard,
+            mapper=mapper,
+            initial_balance=self.workload_config.initial_balance,
+            owner_of=owner_of,
+        )
+
+    # ------------------------------------------------------------------
+    # interface implemented by concrete systems
+    # ------------------------------------------------------------------
+    def route(self, transaction: Transaction) -> int:
+        """Process id the client should submit ``transaction`` to."""
+        raise NotImplementedError
+
+    def fallback_route(self, transaction: Transaction, attempt: int) -> int:
+        """Alternative submission target used when a request times out."""
+        return self.route(transaction)
+
+    @property
+    def required_replies(self) -> int:
+        """Matching replies a client must collect before accepting a result."""
+        raise NotImplementedError
+
+    def views(self) -> dict[ClusterId, ClusterView]:
+        """One representative ledger view per cluster (for audits)."""
+        raise NotImplementedError
+
+    def stores(self) -> list[AccountStore]:
+        """One representative account store per shard."""
+        raise NotImplementedError
+
+    def processes(self) -> list[Process]:
+        """Every replica process of the system."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # workload and clients
+    # ------------------------------------------------------------------
+    def make_workload(self, seed_offset: int = 0) -> WorkloadGenerator:
+        """Create a workload generator bound to this system's shard layout."""
+        return WorkloadGenerator(
+            self.workload_config,
+            num_shards=self.config.num_clusters,
+            seed=self.seed + 7919 * (seed_offset + 1),
+        )
+
+    def spawn_clients(
+        self,
+        count: int,
+        metrics: MetricsCollector,
+        retry_timeout: float = 2.0,
+    ) -> list[ClosedLoopClient]:
+        """Create ``count`` closed-loop clients attached to this system."""
+        clients = []
+        for index in range(count):
+            client = ClosedLoopClient(
+                pid=CLIENT_PID_BASE + len(self.clients),
+                sim=self.sim,
+                network=self.network,
+                cost_model=self.cost_model,
+                workload=self.make_workload(seed_offset=index),
+                router=self.route,
+                metrics=metrics,
+                required_replies=self.required_replies,
+                retry_timeout=retry_timeout,
+                fallback_targets=self.fallback_route,
+            )
+            self.clients.append(client)
+            clients.append(client)
+        return clients
+
+    def start_clients(self, clients: Iterable[ClosedLoopClient], spread: float = 1e-3) -> None:
+        """Start clients with small staggered offsets to avoid lock-step."""
+        for index, client in enumerate(clients):
+            client.start(initial_delay=spread * (index % 97) / 97.0)
+
+    def drain(self, grace: float = 2.0) -> float:
+        """Stop all clients and let in-flight transactions complete.
+
+        Returns the simulated time at which the system went idle.  Call
+        this before auditing so that every committed block has reached
+        every involved cluster.
+        """
+        for client in self.clients:
+            stop = getattr(client, "stop", None)
+            if stop is not None:
+                stop()
+        return self.sim.run(until=self.sim.now + grace)
+
+    # ------------------------------------------------------------------
+    # correctness checks
+    # ------------------------------------------------------------------
+    def audit(self) -> AuditReport:
+        """Run the ledger consistency audit over the representative views."""
+        return audit_views(self.views())
+
+    def total_balance(self) -> int:
+        """Sum of balances across all shards (conservation invariant)."""
+        return sum(store.total_balance() for store in self.stores())
+
+    def expected_total_balance(self) -> int:
+        """Total balance minted at bootstrap."""
+        return (
+            self.workload_config.initial_balance
+            * self.workload_config.accounts_per_shard
+            * self.config.num_clusters
+        )
+
+
+class SharPerSystem(BaseSystem):
+    """The paper's system: sharded clusters + flattened cross-shard consensus."""
+
+    name = "SharPer"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload_config: WorkloadConfig,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(config, workload_config, seed)
+        self.replicas: dict[int, SharPerReplica] = {}
+        for cluster in config.clusters:
+            shard = sharding.cluster_to_shard(cluster.cluster_id)
+            for node in cluster.node_ids:
+                store = self._bootstrap_store(self.workload_mapper, shard)
+                replica = SharPerReplica(
+                    node_id=node,
+                    cluster=cluster,
+                    config=config,
+                    mapper=self.workload_mapper,
+                    store=store,
+                    sim=self.sim,
+                    network=self.network,
+                    cost_model=self.cost_model,
+                )
+                self.replicas[int(node)] = replica
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, transaction: Transaction) -> int:
+        """Send the request to the primary of the initiating cluster."""
+        initiator = sharding.initiator_cluster(
+            transaction,
+            self.workload_mapper,
+            use_super_primary=self.config.tuning.use_super_primary,
+        )
+        return int(self.config.cluster(initiator).primary)
+
+    def fallback_route(self, transaction: Transaction, attempt: int) -> int:
+        """On retry, try the next node of the initiating cluster (view change)."""
+        initiator = sharding.initiator_cluster(
+            transaction,
+            self.workload_mapper,
+            use_super_primary=self.config.tuning.use_super_primary,
+        )
+        nodes = self.config.cluster(initiator).node_ids
+        return int(nodes[attempt % len(nodes)])
+
+    @property
+    def required_replies(self) -> int:
+        """1 reply in the crash model, ``f + 1`` matching replies for Byzantine."""
+        if self.config.fault_model is FaultModel.CRASH:
+            return 1
+        return self.config.clusters[0].f + 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def processes(self) -> list[Process]:
+        return list(self.replicas.values())
+
+    def replicas_of(self, cluster_id: ClusterId) -> list[SharPerReplica]:
+        """All replicas of one cluster."""
+        return [
+            self.replicas[int(node)]
+            for node in self.config.cluster(cluster_id).node_ids
+        ]
+
+    def primary_of(self, cluster_id: ClusterId) -> SharPerReplica:
+        """The initial primary replica of a cluster."""
+        return self.replicas[int(self.config.cluster(cluster_id).primary)]
+
+    def views(self) -> dict[ClusterId, ClusterView]:
+        """Longest ledger view per cluster (non-crashed replicas preferred)."""
+        result: dict[ClusterId, ClusterView] = {}
+        for cluster in self.config.clusters:
+            candidates = [
+                replica
+                for replica in self.replicas_of(cluster.cluster_id)
+                if not replica.crashed
+            ] or self.replicas_of(cluster.cluster_id)
+            best = max(candidates, key=lambda replica: replica.chain.height)
+            result[cluster.cluster_id] = best.chain
+        return result
+
+    def all_views(self) -> dict[ClusterId, list[ClusterView]]:
+        """Every replica's view, grouped by cluster (for agreement checks)."""
+        return {
+            cluster.cluster_id: [
+                replica.chain for replica in self.replicas_of(cluster.cluster_id)
+            ]
+            for cluster in self.config.clusters
+        }
+
+    def stores(self) -> list[AccountStore]:
+        views = self.views()
+        stores = []
+        for cluster in self.config.clusters:
+            # Use the store of the replica whose chain we reported.
+            representative = max(
+                self.replicas_of(cluster.cluster_id),
+                key=lambda replica: replica.chain.height,
+            )
+            stores.append(representative.store)
+        return stores
+
+    def committed_per_cluster(self) -> dict[ClusterId, int]:
+        """Committed block count per cluster (from the representative views)."""
+        return {cluster_id: view.height for cluster_id, view in self.views().items()}
+
+    # ------------------------------------------------------------------
+    # fault injection helpers
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: int) -> None:
+        """Crash a replica."""
+        self.replicas[node_id].crash()
+
+    def crash_primary(self, cluster_id: ClusterId) -> None:
+        """Crash the (initial) primary of a cluster."""
+        self.crash_node(int(self.config.cluster(cluster_id).primary))

@@ -1,0 +1,16 @@
+"""DAG ledger: blocks, per-cluster views, global DAG, consistency audits."""
+
+from .block import GENESIS_BLOCK_ID, Block
+from .dag import BlockDAG
+from .validation import AuditReport, audit_views, check_pairwise_cross_order
+from .view import ClusterView
+
+__all__ = [
+    "AuditReport",
+    "Block",
+    "BlockDAG",
+    "ClusterView",
+    "GENESIS_BLOCK_ID",
+    "audit_views",
+    "check_pairwise_cross_order",
+]

@@ -1,0 +1,238 @@
+"""Transaction blocks of the SharPer DAG ledger.
+
+In SharPer each block contains a single transaction (Section 2.3 — the
+paper argues batching hurts in permissioned settings; the block-size
+ablation benchmark revisits that choice).  A block records, for every
+involved cluster:
+
+* the *position* the block occupies in that cluster's chain (the ``o_i``
+  subscripts of Figure 2, e.g. ``t_{1_2, 2_2}`` sits at position 2 of
+  clusters 1 and 2), and
+* the *parent hash* — the cryptographic hash of the previous block the
+  cluster was involved in — which is what chains the block into every
+  involved cluster's view and makes the global ledger a DAG.
+
+Intra-shard blocks involve exactly one cluster; cross-shard blocks involve
+two or more.
+
+Implementation note (see DESIGN.md): consensus agrees on the *position
+vector*, so the block identity (:attr:`Block.block_hash`) covers the
+transactions, positions and proposer.  Parent hashes are attached by each
+appending cluster for its own chain (a cluster cannot know another
+cluster's head hash while instances are pipelined) and are validated by
+:class:`~repro.ledger.view.ClusterView`; the global DAG derives its edges
+from the position vectors, which encode the same predecessor relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Mapping
+
+from ..common.crypto import GENESIS_HASH, chain_hash
+from ..common.errors import LedgerError
+from ..common.types import ClusterId, SequenceNumber
+from ..txn.transaction import Transaction
+
+__all__ = ["Block", "GENESIS_BLOCK_ID"]
+
+#: Identifier of the unique genesis block ``λ``.
+GENESIS_BLOCK_ID = "genesis"
+
+
+@dataclass(frozen=True)
+class Block:
+    """One vertex of the blockchain DAG."""
+
+    #: transactions contained in the block (exactly one by default).
+    transactions: tuple[Transaction, ...]
+    #: per-cluster position of this block in the cluster's chain.
+    positions: tuple[tuple[ClusterId, int], ...]
+    #: per-cluster hash of the previous block of that cluster (chain
+    #: metadata filled by the appending cluster; may cover a subset of the
+    #: involved clusters and is not part of the block identity).
+    parents: tuple[tuple[ClusterId, str], ...]
+    #: cluster whose primary initiated consensus for this block.
+    proposer: ClusterId
+    #: marks the unique genesis block ``λ``.
+    is_genesis: bool = False
+    #: marks a gap-filling block that carries no transaction (e.g. a slot
+    #: resolved to a no-op during a view change).
+    is_noop: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_genesis:
+            return
+        if not self.transactions and not self.is_noop:
+            raise LedgerError("a non-genesis block must contain at least one transaction")
+        position_clusters = {cluster for cluster, _ in self.positions}
+        parent_clusters = {cluster for cluster, _ in self.parents}
+        if not parent_clusters.issubset(position_clusters):
+            raise LedgerError(
+                "a block may only carry parent hashes for clusters it is positioned in"
+            )
+        if not position_clusters:
+            raise LedgerError("a block must involve at least one cluster")
+        if len(position_clusters) != len(self.positions):
+            raise LedgerError("duplicate cluster in block positions")
+        for _, index in self.positions:
+            if index < 1:
+                raise LedgerError("block positions start at 1 (position 0 is the genesis)")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def genesis(cls) -> "Block":
+        """The unique initialization block ``λ`` shared by every cluster."""
+        return cls(
+            transactions=(),
+            positions=(),
+            parents=(),
+            proposer=ClusterId(-1),
+            is_genesis=True,
+        )
+
+    @classmethod
+    def create(
+        cls,
+        transaction: Transaction,
+        positions: Mapping[ClusterId, int],
+        proposer: ClusterId,
+        parents: Mapping[ClusterId, str] | None = None,
+    ) -> "Block":
+        """Build a single-transaction block from mapping-style arguments."""
+        return cls(
+            transactions=(transaction,),
+            positions=tuple(sorted(positions.items())),
+            parents=tuple(sorted((parents or {}).items())),
+            proposer=proposer,
+        )
+
+    @classmethod
+    def noop(
+        cls,
+        positions: Mapping[ClusterId, int],
+        proposer: ClusterId,
+        parents: Mapping[ClusterId, str] | None = None,
+    ) -> "Block":
+        """Build an empty gap-filling block."""
+        return cls(
+            transactions=(),
+            positions=tuple(sorted(positions.items())),
+            parents=tuple(sorted((parents or {}).items())),
+            proposer=proposer,
+            is_noop=True,
+        )
+
+    @classmethod
+    def create_batch(
+        cls,
+        transactions: tuple[Transaction, ...],
+        positions: Mapping[ClusterId, int],
+        proposer: ClusterId,
+        parents: Mapping[ClusterId, str] | None = None,
+    ) -> "Block":
+        """Build a batched block (used only by the block-size ablation)."""
+        return cls(
+            transactions=tuple(transactions),
+            positions=tuple(sorted(positions.items())),
+            parents=tuple(sorted((parents or {}).items())),
+            proposer=proposer,
+        )
+
+    # ------------------------------------------------------------------
+    # derived properties
+    # ------------------------------------------------------------------
+    @cached_property
+    def block_hash(self) -> str:
+        """Cryptographic hash identifying the block (``H(t)`` in the paper)."""
+        if self.is_genesis:
+            return chain_hash(GENESIS_BLOCK_ID, GENESIS_HASH)
+        return chain_hash(
+            [tx.payload_digest() for tx in self.transactions],
+            [(int(cluster), index) for cluster, index in self.positions],
+            int(self.proposer),
+            self.is_noop,
+        )
+
+    @property
+    def transaction(self) -> Transaction:
+        """The single transaction of an unbatched block."""
+        if len(self.transactions) != 1:
+            raise LedgerError(
+                f"block {self.block_hash[:8]} holds {len(self.transactions)} transactions"
+            )
+        return self.transactions[0]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the block carries no transaction (genesis or no-op)."""
+        return not self.transactions
+
+    @property
+    def tx_ids(self) -> tuple[str, ...]:
+        """Identifiers of the contained transactions."""
+        return tuple(tx.tx_id for tx in self.transactions)
+
+    @property
+    def involved_clusters(self) -> frozenset[ClusterId]:
+        """Clusters that participate in (and store) this block."""
+        return frozenset(cluster for cluster, _ in self.positions)
+
+    @property
+    def is_cross_shard(self) -> bool:
+        """True when more than one cluster is involved."""
+        return len(self.involved_clusters) > 1
+
+    def position_for(self, cluster: ClusterId) -> int:
+        """Position of this block in ``cluster``'s chain."""
+        for candidate, index in self.positions:
+            if candidate == cluster:
+                return index
+        raise LedgerError(f"block {self.block_hash[:8]} does not involve cluster {cluster}")
+
+    def with_parent(self, cluster: ClusterId, parent_hash: str) -> "Block":
+        """Return a copy carrying ``cluster``'s parent hash (chain metadata).
+
+        Positions, transactions and therefore :attr:`block_hash` are
+        unchanged; only the per-cluster chain reference is added.
+        """
+        if not self.involves(cluster):
+            raise LedgerError(f"block {self.label()} does not involve cluster {cluster}")
+        parents = dict(self.parents)
+        parents[cluster] = parent_hash
+        return Block(
+            transactions=self.transactions,
+            positions=self.positions,
+            parents=tuple(sorted(parents.items())),
+            proposer=self.proposer,
+            is_genesis=self.is_genesis,
+            is_noop=self.is_noop,
+        )
+
+    def parent_for(self, cluster: ClusterId) -> str:
+        """Hash of the previous block of ``cluster`` referenced by this block."""
+        for candidate, parent_hash in self.parents:
+            if candidate == cluster:
+                return parent_hash
+        raise LedgerError(f"block {self.block_hash[:8]} does not involve cluster {cluster}")
+
+    def sequence_numbers(self) -> tuple[SequenceNumber, ...]:
+        """The block's slots as :class:`SequenceNumber` objects."""
+        return tuple(SequenceNumber(cluster, index) for cluster, index in self.positions)
+
+    def involves(self, cluster: ClusterId) -> bool:
+        """Whether ``cluster`` stores this block in its view."""
+        return any(candidate == cluster for candidate, _ in self.positions)
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's ``t_{o_1,..,o_k}`` notation."""
+        if self.is_genesis:
+            return "λ"
+        subscripts = ",".join(f"{cluster + 1}_{index}" for cluster, index in self.positions)
+        return f"t[{subscripts}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.label()} hash={self.block_hash[:8]}>"

@@ -1,0 +1,163 @@
+"""Per-cluster view of the blockchain ledger.
+
+"The entire blockchain ledger is not maintained by any cluster and each
+cluster only maintains its own view of the blockchain ledger including
+the transactions that access the data shard of the cluster" (Section
+2.3).  A :class:`ClusterView` is exactly that: a totally ordered chain of
+blocks (intra-shard blocks of the cluster plus the cross-shard blocks the
+cluster participates in), rooted at the genesis block ``λ``.
+
+Appending enforces the two properties the paper relies on:
+
+* **total order per shard** — block ``k`` must occupy position ``k`` and
+  every position is filled exactly once (no forks, no gaps);
+* **hash-chain integrity** — block ``k``'s parent reference for this
+  cluster must equal the hash of block ``k-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..common.errors import ForkError, HashChainError, LedgerError, UnknownBlockError
+from ..common.types import ClusterId
+from .block import Block
+
+__all__ = ["ClusterView"]
+
+
+class ClusterView:
+    """The chain of blocks maintained by every node of one cluster."""
+
+    def __init__(self, cluster_id: ClusterId, genesis: Block | None = None) -> None:
+        self.cluster_id = cluster_id
+        self._genesis = genesis or Block.genesis()
+        if not self._genesis.is_genesis:
+            raise LedgerError("a ClusterView must be rooted at a genesis block")
+        self._blocks: list[Block] = [self._genesis]
+        self._by_hash: dict[str, Block] = {self._genesis.block_hash: self._genesis}
+        self._tx_index: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def genesis(self) -> Block:
+        """The genesis block ``λ``."""
+        return self._genesis
+
+    @property
+    def height(self) -> int:
+        """Number of non-genesis blocks in the view."""
+        return len(self._blocks) - 1
+
+    @property
+    def next_index(self) -> int:
+        """Position the next appended block must occupy."""
+        return len(self._blocks)
+
+    @property
+    def head(self) -> Block:
+        """Most recently appended block (the genesis block if empty)."""
+        return self._blocks[-1]
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the head block — the ``h_i`` carried in protocol messages."""
+        return self.head.block_hash
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._by_hash
+
+    def blocks(self, include_genesis: bool = False) -> list[Block]:
+        """The chain as a list, oldest first."""
+        return list(self._blocks) if include_genesis else list(self._blocks[1:])
+
+    def block_at(self, index: int) -> Block:
+        """Block occupying position ``index`` (position 0 is the genesis)."""
+        if not 0 <= index < len(self._blocks):
+            raise UnknownBlockError(f"view of cluster {self.cluster_id} has no block at {index}")
+        return self._blocks[index]
+
+    def block_by_hash(self, block_hash: str) -> Block:
+        """Block identified by ``block_hash``."""
+        try:
+            return self._by_hash[block_hash]
+        except KeyError:
+            raise UnknownBlockError(
+                f"block {block_hash[:8]} not in view of cluster {self.cluster_id}"
+            ) from None
+
+    def contains_tx(self, tx_id: str) -> bool:
+        """Whether a transaction has been committed in this view."""
+        return tx_id in self._tx_index
+
+    def position_of_tx(self, tx_id: str) -> int:
+        """Chain position of the block containing ``tx_id``."""
+        try:
+            return self._tx_index[tx_id]
+        except KeyError:
+            raise UnknownBlockError(f"transaction {tx_id} not in view of cluster {self.cluster_id}") from None
+
+    def cross_shard_blocks(self) -> list[Block]:
+        """All cross-shard blocks of the view, oldest first."""
+        return [block for block in self._blocks[1:] if block.is_cross_shard]
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+    def append(self, block: Block) -> None:
+        """Append a committed block, enforcing order and hash chaining."""
+        if block.is_genesis:
+            raise LedgerError("cannot append a second genesis block")
+        if not block.involves(self.cluster_id):
+            raise LedgerError(
+                f"block {block.label()} does not involve cluster {self.cluster_id}"
+            )
+        position = block.position_for(self.cluster_id)
+        if position != self.next_index:
+            raise ForkError(
+                f"cluster {self.cluster_id}: block {block.label()} targets position "
+                f"{position} but the next free position is {self.next_index}"
+            )
+        parent = block.parent_for(self.cluster_id)
+        if parent != self.head_hash:
+            raise HashChainError(
+                f"cluster {self.cluster_id}: block {block.label()} references parent "
+                f"{parent[:8]} but the head is {self.head_hash[:8]}"
+            )
+        for tx_id in block.tx_ids:
+            if tx_id in self._tx_index:
+                raise ForkError(
+                    f"cluster {self.cluster_id}: transaction {tx_id} is already committed"
+                )
+        self._blocks.append(block)
+        self._by_hash[block.block_hash] = block
+        for tx_id in block.tx_ids:
+            self._tx_index[tx_id] = position
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Re-walk the chain and raise if any invariant is violated."""
+        previous = self._blocks[0]
+        if not previous.is_genesis:
+            raise LedgerError("view does not start at the genesis block")
+        for index, block in enumerate(self._blocks[1:], start=1):
+            if block.position_for(self.cluster_id) != index:
+                raise ForkError(
+                    f"cluster {self.cluster_id}: block at chain offset {index} claims "
+                    f"position {block.position_for(self.cluster_id)}"
+                )
+            if block.parent_for(self.cluster_id) != previous.block_hash:
+                raise HashChainError(
+                    f"cluster {self.cluster_id}: hash chain broken at position {index}"
+                )
+            previous = block

@@ -1,0 +1,226 @@
+"""Point-to-point message transport between simulated processes.
+
+Section 2.1 of the paper assumes an asynchronous network of pairwise
+authenticated, bi-directional channels that may drop, delay, duplicate,
+or reorder messages.  This module models exactly that:
+
+* every link has a latency drawn from a :class:`LatencyModel` (intra-cluster
+  links are faster than cross-cluster links, clients sit at a configurable
+  distance);
+* messages can be dropped randomly (``drop_rate``), per link
+  (:meth:`Network.disconnect`), or via network partitions
+  (:meth:`Network.partition`);
+* pairwise authentication is modelled by handing the receiver the true
+  sender id — a Byzantine process cannot claim another node's identity at
+  the transport layer, matching the paper's assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol
+
+from ..common.config import PerformanceModel
+from ..common.errors import NetworkError
+from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .process import Process
+
+__all__ = ["LatencyModel", "UniformLatencyModel", "ClusteredLatencyModel", "Network"]
+
+
+class LatencyModel(Protocol):
+    """Strategy object producing one-way link delays in seconds."""
+
+    def delay(self, src: int, dst: int) -> float:
+        """One-way delay for a message from ``src`` to ``dst``."""
+        ...
+
+
+class UniformLatencyModel:
+    """Every link has the same base delay plus uniform jitter."""
+
+    def __init__(self, base_delay: float, jitter: float = 0.0, rng: random.Random | None = None):
+        if base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.rng = rng or random.Random(0)
+
+    def delay(self, src: int, dst: int) -> float:
+        jitter = self.rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        return self.base_delay * (1.0 + jitter)
+
+
+class ClusteredLatencyModel:
+    """Latency model aware of the cluster topology.
+
+    Nodes inside the same cluster are geographically close (Section 2.2:
+    nodes are assigned to clusters by geographical distance), so
+    intra-cluster links are fast; links between clusters use the slower
+    cross-cluster delay; any endpoint not in the topology map (clients)
+    uses the client delay.
+    """
+
+    def __init__(
+        self,
+        performance: PerformanceModel,
+        cluster_of: Mapping[int, int],
+        rng: random.Random | None = None,
+    ) -> None:
+        self.performance = performance
+        self.cluster_of = dict(cluster_of)
+        self.rng = rng or random.Random(0)
+
+    def _base_delay(self, src: int, dst: int) -> float:
+        perf = self.performance
+        src_cluster = self.cluster_of.get(src)
+        dst_cluster = self.cluster_of.get(dst)
+        if src_cluster is None or dst_cluster is None:
+            return perf.client_latency
+        if src_cluster == dst_cluster:
+            return perf.intra_cluster_latency
+        return perf.cross_cluster_latency
+
+    def delay(self, src: int, dst: int) -> float:
+        base = self._base_delay(src, dst)
+        jitter = self.performance.latency_jitter
+        if jitter:
+            base *= 1.0 + self.rng.uniform(0.0, jitter)
+        return base
+
+
+class Network:
+    """Routes messages between registered processes with simulated delays."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: LatencyModel,
+        drop_rate: float = 0.0,
+        fifo: bool = True,
+    ) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise NetworkError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.sim = sim
+        self.latency_model = latency_model
+        self.drop_rate = drop_rate
+        #: deliver messages of one (src, dst) link in send order, as TCP
+        #: point-to-point channels would.  Jitter still varies the delay,
+        #: but never reorders a link.
+        self.fifo = fifo
+        self._processes: dict[int, "Process"] = {}
+        self._severed_links: set[frozenset[int]] = set()
+        self._partition_of: dict[int, int] | None = None
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, process: "Process") -> None:
+        """Attach a process to the network under its ``pid``."""
+        if process.pid in self._processes:
+            raise NetworkError(f"process {process.pid} is already registered")
+        self._processes[process.pid] = process
+
+    def process(self, pid: int) -> "Process":
+        """Look up a registered process."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise NetworkError(f"unknown process {pid}") from None
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        """All registered process ids."""
+        return tuple(self._processes)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def disconnect(self, a: int, b: int) -> None:
+        """Sever the bidirectional link between ``a`` and ``b``."""
+        self._severed_links.add(frozenset((a, b)))
+
+    def reconnect(self, a: int, b: int) -> None:
+        """Restore a previously severed link."""
+        self._severed_links.discard(frozenset((a, b)))
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the network: messages only flow within a group."""
+        partition_of: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                partition_of[pid] = index
+        self._partition_of = partition_of
+
+    def heal(self) -> None:
+        """Remove any partition and severed links."""
+        self._partition_of = None
+        self._severed_links.clear()
+
+    def _reachable(self, src: int, dst: int) -> bool:
+        if frozenset((src, dst)) in self._severed_links:
+            return False
+        if self._partition_of is not None:
+            # Unlisted processes are reachable from everyone (e.g. clients).
+            src_group = self._partition_of.get(src)
+            dst_group = self._partition_of.get(dst)
+            if src_group is not None and dst_group is not None and src_group != dst_group:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: object, depart_time: float | None = None) -> bool:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        Returns ``True`` if the message was put on the wire (it may still
+        be lost), ``False`` if it was dropped immediately.  ``depart_time``
+        lets the sending process account for CPU time spent serialising
+        the message before it leaves the NIC.
+        """
+        self.messages_sent += 1
+        destination = self._processes.get(dst)
+        if destination is None:
+            raise NetworkError(f"cannot send to unknown process {dst}")
+        if not self._reachable(src, dst):
+            self.messages_dropped += 1
+            return False
+        if self.drop_rate and self.sim.rng.random() < self.drop_rate:
+            self.messages_dropped += 1
+            return False
+        departure = max(depart_time if depart_time is not None else self.sim.now, self.sim.now)
+        arrival = departure + self.latency_model.delay(src, dst)
+        if self.fifo:
+            link = (src, dst)
+            arrival = max(arrival, self._last_arrival.get(link, 0.0))
+            self._last_arrival[link] = arrival
+        self.sim.schedule_at(arrival, self._deliver, destination, message, src)
+        return True
+
+    def multicast(
+        self,
+        src: int,
+        destinations: Iterable[int],
+        message: object,
+        depart_time: float | None = None,
+        include_self: bool = False,
+    ) -> int:
+        """Send ``message`` to every destination; returns the count sent."""
+        sent = 0
+        for dst in destinations:
+            if dst == src and not include_self:
+                continue
+            if self.send(src, dst, message, depart_time=depart_time):
+                sent += 1
+        return sent
+
+    def _deliver(self, destination: "Process", message: object, src: int) -> None:
+        self.messages_delivered += 1
+        destination.deliver(message, src)

@@ -1,0 +1,138 @@
+"""Base class for simulated processes (replicas, clients, committees).
+
+A :class:`Process` owns a single CPU.  Incoming messages are served in
+arrival order; each message occupies the CPU for the time computed by the
+:class:`~repro.sim.costs.CostModel`, and the protocol handler
+(:meth:`Process.on_message`) runs when that service completes.  Outgoing
+messages also charge the CPU and leave the node only once the CPU has
+produced them, which is what makes a primary that multicasts to many
+replicas an honest bottleneck — the effect behind every saturation knee
+in the paper's figures.
+
+Fault injection hooks:
+
+* :meth:`Process.crash` / :meth:`Process.recover` — crash-stop behaviour;
+* :attr:`Process.byzantine` — a flag protocols consult to simulate
+  malicious behaviour (equivocation, silence) in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .costs import CostModel
+from .network import Network
+from .simulator import Simulator, Timer
+
+__all__ = ["Process"]
+
+
+class Process:
+    """A single simulated machine with one CPU and a network endpoint."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        network: Network,
+        cost_model: CostModel,
+        name: str | None = None,
+    ) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.network = network
+        self.cost_model = cost_model
+        self.name = name or f"proc-{pid}"
+        self.crashed = False
+        self.byzantine = False
+        self._cpu_free_at = 0.0
+        self.messages_received = 0
+        self.messages_sent = 0
+        self.cpu_busy_time = 0.0
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # CPU accounting
+    # ------------------------------------------------------------------
+    def charge(self, cpu_seconds: float) -> float:
+        """Occupy the CPU for ``cpu_seconds``; returns the completion time."""
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cpu_seconds
+        self.cpu_busy_time += cpu_seconds
+        return self._cpu_free_at
+
+    @property
+    def cpu_free_at(self) -> float:
+        """Simulated time at which the CPU becomes idle."""
+        return self._cpu_free_at
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` simulated seconds the CPU was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.cpu_busy_time / elapsed)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def deliver(self, message: Any, src: int) -> None:
+        """Called by the network when a message arrives at the NIC."""
+        if self.crashed:
+            return
+        self.messages_received += 1
+        completion = self.charge(self.cost_model.receive_cost(message))
+        self.sim.schedule_at(completion, self._dispatch, message, src)
+
+    def _dispatch(self, message: Any, src: int) -> None:
+        if self.crashed:
+            return
+        self.on_message(message, src)
+
+    def on_message(self, message: Any, src: int) -> None:
+        """Protocol handler; subclasses override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def send(self, dst: int, message: Any) -> None:
+        """Send one message, charging send-side CPU first."""
+        departure = self.charge(self.cost_model.send_cost(message, destinations=1))
+        self.messages_sent += 1
+        self.network.send(self.pid, dst, message, depart_time=departure)
+
+    def multicast(self, destinations: list[int] | tuple[int, ...], message: Any) -> None:
+        """Send ``message`` to every destination except this process.
+
+        Signing cost is charged once; per-destination serialisation cost is
+        charged for each copy, so wide multicasts genuinely cost more.
+        """
+        targets = [dst for dst in destinations if dst != self.pid]
+        departure = self.charge(self.cost_model.send_cost(message, destinations=len(targets)))
+        for dst in targets:
+            self.messages_sent += 1
+            self.network.send(self.pid, dst, message, depart_time=departure)
+
+    # ------------------------------------------------------------------
+    # timers and fault injection
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Arm a timer whose callback is skipped if the process has crashed."""
+
+        def _guarded() -> None:
+            if not self.crashed:
+                callback(*args)
+
+        return self.sim.set_timer(delay, _guarded)
+
+    def crash(self) -> None:
+        """Crash-stop the process: it stops receiving and sending."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Restart a crashed process (state retained, as in Section 2.1)."""
+        self.crashed = False
+        self._cpu_free_at = max(self._cpu_free_at, self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.name} pid={self.pid}>"

@@ -1,0 +1,128 @@
+"""The discrete-event simulator driving every experiment in this repo.
+
+The paper evaluates SharPer on an EC2 testbed; this reproduction replaces
+the testbed with a deterministic simulator (see DESIGN.md, substitutions
+table).  The simulator provides:
+
+* a virtual clock (:attr:`Simulator.now`, in seconds);
+* event scheduling with cancellation (:meth:`Simulator.schedule`);
+* cancellable timers (used by the protocols' view-change and conflict
+  timers);
+* a seeded random number generator shared by the network jitter model and
+  the workload generators, so that every run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from ..common.errors import SimulationError
+from .events import Event, EventQueue
+
+__all__ = ["Simulator", "Timer"]
+
+
+class Timer:
+    """A cancellable timer handle returned by :meth:`Simulator.set_timer`."""
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer is still pending."""
+        return not self._event.cancelled
+
+    @property
+    def deadline(self) -> float:
+        """Simulated time at which the timer fires."""
+        return self._event.time
+
+    def cancel(self) -> None:
+        """Cancel the timer; the callback will not run."""
+        self._event.cancel()
+
+
+class Simulator:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._processed_events = 0
+        self.rng = random.Random(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events fired so far (useful in tests and benchmarks)."""
+        return self._processed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, current time is {self._now:.6f}"
+            )
+        return self._queue.push(time, callback, *args)
+
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Arm a cancellable timer (protocol timeout helper)."""
+        return Timer(self.schedule(delay, callback, *args))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run the simulation.
+
+        Stops when the event queue is empty, when the next event is past
+        ``until``, or after ``max_events`` events — whichever comes first.
+        Returns the simulated time at which the run stopped.
+        """
+        self._running = True
+        fired = 0
+        while self._running:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            event = self._queue.pop()
+            if event is None:
+                break
+            self._now = event.time
+            event.fire()
+            self._processed_events += 1
+            fired += 1
+        self._running = False
+        if until is not None and self._queue.peek_time() is None:
+            # The system went idle before the horizon; advance the clock so
+            # throughput denominators stay meaningful.
+            self._now = max(self._now, until)
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes."""
+        self._running = False
+
+    def clear(self) -> None:
+        """Drop all pending events (used between benchmark iterations)."""
+        self._queue.clear()

@@ -1,0 +1,19 @@
+"""Account-based transaction model, state store, execution, workloads."""
+
+from .accounts import Account, AccountStore, ShardMapper
+from .execution import ExecutionResult, TransactionExecutor
+from .transaction import Transaction, Transfer, new_tx_id
+from .workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "Account",
+    "AccountStore",
+    "ExecutionResult",
+    "ShardMapper",
+    "Transaction",
+    "TransactionExecutor",
+    "Transfer",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "new_tx_id",
+]

@@ -1,0 +1,126 @@
+"""Transaction validation and execution against a shard's account store.
+
+Each cluster replicates one shard.  An intra-shard transaction touches
+only local accounts and is validated/executed entirely by the cluster.
+A cross-shard transaction touches accounts from several shards; each
+involved cluster validates and applies only the operations that touch its
+own shard (the global consensus protocol guarantees every involved
+cluster applies the transaction at the same position, which is what makes
+this safe — Section 3.2/3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ValidationError
+from ..common.types import ShardId
+from .accounts import AccountStore, ShardMapper
+from .transaction import Transaction, Transfer
+
+__all__ = ["ExecutionResult", "TransactionExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one transaction on one shard."""
+
+    tx_id: str
+    success: bool
+    applied_transfers: int
+    error: str | None = None
+
+
+class TransactionExecutor:
+    """Validates and applies transactions to a single shard's state."""
+
+    def __init__(
+        self,
+        store: AccountStore,
+        mapper: ShardMapper,
+        shard: ShardId,
+        enforce_ownership: bool = True,
+    ) -> None:
+        self.store = store
+        self.mapper = mapper
+        self.shard = shard
+        self.enforce_ownership = enforce_ownership
+        self.executed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _local_transfers(self, transaction: Transaction) -> list[Transfer]:
+        """Transfers with at least one endpoint in this shard."""
+        local: list[Transfer] = []
+        for transfer in transaction.transfers:
+            touches_local = (
+                self.mapper.shard_of(transfer.source) == self.shard
+                or self.mapper.shard_of(transfer.destination) == self.shard
+            )
+            if touches_local:
+                local.append(transfer)
+        return local
+
+    def validate(self, transaction: Transaction) -> None:
+        """Raise :class:`ValidationError` if the local part is invalid.
+
+        Checks ownership of source accounts stored locally and that each
+        locally-stored source holds sufficient balance for the sum of its
+        outgoing transfers in this transaction.
+        """
+        outgoing: dict[int, int] = {}
+        for transfer in self._local_transfers(transaction):
+            if self.mapper.shard_of(transfer.source) != self.shard:
+                continue
+            account = self.store.account(transfer.source)
+            if self.enforce_ownership and account.owner != transaction.client:
+                raise ValidationError(
+                    f"client {transaction.client} does not own account {transfer.source}"
+                )
+            outgoing[transfer.source] = outgoing.get(transfer.source, 0) + transfer.amount
+        for account_id, total in outgoing.items():
+            balance = self.store.balance(account_id)
+            if balance < total:
+                raise ValidationError(
+                    f"account {account_id} holds {balance} < {total} required by {transaction.tx_id}"
+                )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, transaction: Transaction) -> ExecutionResult:
+        """Validate then apply the local part of ``transaction``.
+
+        Execution is all-or-nothing for the local part: if validation
+        fails nothing is applied and a failed result is returned.
+        """
+        try:
+            self.validate(transaction)
+        except ValidationError as exc:
+            self.failed += 1
+            return ExecutionResult(
+                tx_id=transaction.tx_id,
+                success=False,
+                applied_transfers=0,
+                error=str(exc),
+            )
+        applied = 0
+        for transfer in self._local_transfers(transaction):
+            if self.mapper.shard_of(transfer.source) == self.shard:
+                self.store.withdraw(
+                    transfer.source,
+                    transfer.amount,
+                    requester=transaction.client if self.enforce_ownership else None,
+                )
+                applied += 1
+            if self.mapper.shard_of(transfer.destination) == self.shard:
+                self.store.deposit(transfer.destination, transfer.amount)
+                applied += 1
+        self.executed += 1
+        return ExecutionResult(
+            tx_id=transaction.tx_id,
+            success=True,
+            applied_transfers=applied,
+        )

@@ -1,0 +1,186 @@
+"""Synthetic workload generation for the accounting application.
+
+The paper's experiments control two knobs (Section 4):
+
+* the percentage of cross-shard transactions (0%, 10%, 20%, 80%, 100%);
+* the number of shards each cross-shard transaction touches (two,
+  randomly chosen, in Figures 6 and 7; cross-shard transactions also
+  touch two clusters in the scalability experiment of Figure 8).
+
+:class:`WorkloadGenerator` reproduces that: it draws intra-shard
+transactions uniformly (or Zipf-skewed) over the shards and, with the
+configured probability, emits a cross-shard transfer between accounts of
+distinct, randomly chosen shards.  Generation is seeded and fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..common.errors import ConfigurationError
+from ..common.types import AccountId, ClientId, ShardId, TxType
+from .accounts import ShardMapper
+from .transaction import Transaction, Transfer
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic workload."""
+
+    #: fraction of transactions that are cross-shard (0.0 – 1.0).
+    cross_shard_fraction: float = 0.0
+    #: number of distinct shards each cross-shard transaction touches.
+    shards_per_cross_tx: int = 2
+    #: number of accounts stored in each shard.
+    accounts_per_shard: int = 1024
+    #: initial balance of every account.
+    initial_balance: int = 1_000_000
+    #: transferred amount range (inclusive).
+    min_amount: int = 1
+    max_amount: int = 10
+    #: number of distinct application clients issuing requests.
+    num_clients: int = 64
+    #: Zipf-like skew for account popularity (0 = uniform).
+    hot_account_fraction: float = 0.0
+    hot_access_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ConfigurationError("cross_shard_fraction must be within [0, 1]")
+        if self.shards_per_cross_tx < 2:
+            raise ConfigurationError("a cross-shard transaction touches at least 2 shards")
+        if self.accounts_per_shard < 2:
+            raise ConfigurationError("need at least 2 accounts per shard")
+        if self.min_amount <= 0 or self.max_amount < self.min_amount:
+            raise ConfigurationError("invalid transfer amount range")
+        if self.num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        if not 0.0 <= self.hot_account_fraction <= 1.0:
+            raise ConfigurationError("hot_account_fraction must be within [0, 1]")
+        if not 0.0 <= self.hot_access_fraction <= 1.0:
+            raise ConfigurationError("hot_access_fraction must be within [0, 1]")
+
+
+class WorkloadGenerator:
+    """Deterministic stream of transactions matching a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig, num_shards: int, seed: int = 0) -> None:
+        if num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if config.cross_shard_fraction > 0 and num_shards < config.shards_per_cross_tx:
+            raise ConfigurationError(
+                f"cannot generate {config.shards_per_cross_tx}-shard transactions "
+                f"with only {num_shards} shards"
+            )
+        self.config = config
+        self.num_shards = num_shards
+        self.mapper = ShardMapper(num_shards, config.accounts_per_shard)
+        self.rng = random.Random(seed)
+        self.generated = 0
+        self.generated_cross = 0
+
+    # ------------------------------------------------------------------
+    # account selection
+    # ------------------------------------------------------------------
+    def _pick_account(self, shard: ShardId, exclude: AccountId | None = None) -> AccountId:
+        """Pick an account of ``shard``; honours the hot-spot skew knob."""
+        accounts = self.mapper.accounts_in_shard(shard)
+        config = self.config
+        hot_count = max(1, int(len(accounts) * config.hot_account_fraction)) if config.hot_account_fraction else 0
+        for _ in range(16):
+            if hot_count and self.rng.random() < config.hot_access_fraction:
+                candidate = AccountId(accounts.start + self.rng.randrange(hot_count))
+            else:
+                candidate = AccountId(self.rng.randrange(accounts.start, accounts.stop))
+            if candidate != exclude:
+                return candidate
+        # Extremely small shards can collide repeatedly; fall back linearly.
+        for raw in accounts:
+            if raw != exclude:
+                return AccountId(raw)
+        raise ConfigurationError(f"shard {shard} has no alternative account")
+
+    def owner_of(self, account_id: AccountId) -> ClientId:
+        """Application client that owns ``account_id``.
+
+        Ownership follows a fixed modulo assignment so that the generator
+        can always produce transactions whose signer owns the source
+        account (the validity condition of the accounting application).
+        The system builder bootstraps the account stores with the same
+        assignment.
+        """
+        return ClientId(account_id % self.config.num_clients)
+
+    def _pick_amount(self) -> int:
+        return self.rng.randint(self.config.min_amount, self.config.max_amount)
+
+    # ------------------------------------------------------------------
+    # transaction generation
+    # ------------------------------------------------------------------
+    def next_intra_shard(self, timestamp: float = 0.0, shard: ShardId | None = None) -> Transaction:
+        """Generate an intra-shard transfer within ``shard`` (random if None)."""
+        if shard is None:
+            shard = ShardId(self.rng.randrange(self.num_shards))
+        source = self._pick_account(shard)
+        destination = self._pick_account(shard, exclude=source)
+        transaction = Transaction.multi_transfer(
+            client=self.owner_of(source),
+            transfers=[Transfer(source=source, destination=destination, amount=self._pick_amount())],
+            timestamp=timestamp,
+        )
+        self.generated += 1
+        return transaction
+
+    def next_cross_shard(self, timestamp: float = 0.0) -> Transaction:
+        """Generate a cross-shard transaction over ``shards_per_cross_tx`` shards.
+
+        All transfers share one source account (owned by the issuing
+        client) and move funds to one account in each of the other chosen
+        shards, so the transaction touches exactly the chosen shards.
+        """
+        shard_ids = self.rng.sample(range(self.num_shards), self.config.shards_per_cross_tx)
+        shards = [ShardId(shard) for shard in shard_ids]
+        source = self._pick_account(shards[0])
+        transfers = []
+        for shard in shards[1:]:
+            destination = self._pick_account(shard)
+            transfers.append(
+                Transfer(source=source, destination=destination, amount=self._pick_amount())
+            )
+        transaction = Transaction.multi_transfer(
+            client=self.owner_of(source),
+            transfers=transfers,
+            timestamp=timestamp,
+        )
+        self.generated += 1
+        self.generated_cross += 1
+        return transaction
+
+    def next_transaction(self, timestamp: float = 0.0) -> Transaction:
+        """Generate the next transaction of the configured mix."""
+        if self.config.cross_shard_fraction and self.rng.random() < self.config.cross_shard_fraction:
+            return self.next_cross_shard(timestamp)
+        return self.next_intra_shard(timestamp)
+
+    def stream(self, count: int, timestamp: float = 0.0) -> Iterator[Transaction]:
+        """Yield ``count`` transactions."""
+        for _ in range(count):
+            yield self.next_transaction(timestamp)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def observed_cross_fraction(self) -> float:
+        """Fraction of generated transactions that were cross-shard."""
+        if not self.generated:
+            return 0.0
+        return self.generated_cross / self.generated
+
+    def classify(self, transaction: Transaction) -> TxType:
+        """Classify a transaction under this workload's shard mapping."""
+        return transaction.tx_type(self.mapper)

@@ -1,0 +1,10 @@
+"""Pytest configuration: make the shared helpers importable everywhere."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# tests/helpers.py is imported as a plain module by unit/integration/property
+# test files regardless of which directory pytest was invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,97 @@
+"""Shared fixtures/helpers for the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import ClusterConfig, SystemConfig
+from repro.common.types import ClusterId, FaultModel, NodeId
+from repro.consensus.log import OrderingLog
+from repro.txn.transaction import Transaction
+
+
+class FakeTimer:
+    """Timer stand-in used by engine unit tests (never fires by itself)."""
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+@dataclass
+class SentMessage:
+    """A message captured by :class:`FakeHost`."""
+
+    kind: str  # "multicast" or "send"
+    destination: int | None
+    message: object
+
+
+class FakeHost:
+    """Minimal in-memory ConsensusHost used to unit-test engines."""
+
+    def __init__(self, node_id: int, cluster: ClusterConfig) -> None:
+        self.node_id = NodeId(node_id)
+        self.cluster = cluster
+        self.log = OrderingLog(cluster.cluster_id)
+        self.sent: list[SentMessage] = []
+        self.decide_notifications = 0
+        self.timers: list[FakeTimer] = []
+
+    # -- ConsensusHost interface ---------------------------------------
+    def multicast_cluster(self, message: object) -> None:
+        self.sent.append(SentMessage("multicast", None, message))
+
+    def send_to(self, node_id: int, message: object) -> None:
+        self.sent.append(SentMessage("send", int(node_id), message))
+
+    def after_decide(self) -> None:
+        self.decide_notifications += 1
+
+    def set_timer(self, delay: float, callback, *args) -> FakeTimer:
+        timer = FakeTimer()
+        self.timers.append(timer)
+        return timer
+
+    @property
+    def view_change_timeout(self) -> float:
+        return 0.5
+
+    # -- convenience -----------------------------------------------------
+    def messages_of_type(self, message_type) -> list[object]:
+        return [sent.message for sent in self.sent if isinstance(sent.message, message_type)]
+
+
+def crash_cluster(cluster_id: int = 0, size: int = 3, f: int = 1) -> ClusterConfig:
+    """A crash-only cluster with node ids 0..size-1 (offset by cluster)."""
+    base = cluster_id * size
+    return ClusterConfig(
+        cluster_id=ClusterId(cluster_id),
+        node_ids=tuple(NodeId(base + index) for index in range(size)),
+        fault_model=FaultModel.CRASH,
+        f=f,
+    )
+
+
+def byzantine_cluster(cluster_id: int = 0, size: int = 4, f: int = 1) -> ClusterConfig:
+    """A Byzantine cluster with node ids 0..size-1 (offset by cluster)."""
+    base = cluster_id * size
+    return ClusterConfig(
+        cluster_id=ClusterId(cluster_id),
+        node_ids=tuple(NodeId(base + index) for index in range(size)),
+        fault_model=FaultModel.BYZANTINE,
+        f=f,
+    )
+
+
+def simple_transfer(source: int = 0, destination: int = 1, amount: int = 5) -> Transaction:
+    """A one-transfer transaction for tests that only need a payload."""
+    return Transaction.transfer(
+        client=source % 8, source=source, destination=destination, amount=amount
+    )

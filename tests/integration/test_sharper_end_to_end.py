@@ -1,0 +1,149 @@
+"""End-to-end integration tests for the SharPer system (crash and Byzantine).
+
+Each test builds a full deployment in the simulator, drives it with
+closed-loop clients, lets it drain, and then checks the paper's safety
+properties: per-cluster total order, presence and consistency of
+cross-shard blocks in every involved cluster, agreement among the
+replicas of one cluster, and conservation of the total balance.
+"""
+
+import pytest
+
+from repro.common.metrics import MetricsCollector
+from repro.common.types import FaultModel
+from repro.core import SharPerSystem
+from repro.common.config import SystemConfig
+from repro.txn.workload import WorkloadConfig
+
+
+def run_system(fault_model, cross_fraction, clients=12, duration=0.15, num_clusters=4, seed=5):
+    config = SystemConfig.build(num_clusters, fault_model, seed=seed)
+    workload = WorkloadConfig(
+        cross_shard_fraction=cross_fraction, accounts_per_shard=64, num_clients=16
+    )
+    system = SharPerSystem(config, workload, seed=seed)
+    metrics = MetricsCollector(warmup=0.02, measure_until=duration)
+    group = system.spawn_clients(clients, metrics)
+    system.start_clients(group)
+    end = system.sim.run(until=duration)
+    system.drain()
+    return system, metrics.finalize(end)
+
+
+class TestCrashDeployment:
+    def test_intra_shard_only(self):
+        system, stats = run_system(FaultModel.CRASH, cross_fraction=0.0)
+        assert stats.committed > 100
+        report = system.audit()
+        assert report.ok, report.problems
+        assert report.cross_shard_blocks == 0
+        assert system.total_balance() == system.expected_total_balance()
+
+    def test_mixed_workload(self):
+        system, stats = run_system(FaultModel.CRASH, cross_fraction=0.3)
+        assert stats.committed_cross > 10
+        report = system.audit()
+        assert report.ok, report.problems
+        assert report.cross_shard_blocks > 0
+        assert system.total_balance() == system.expected_total_balance()
+
+    def test_all_replicas_of_a_cluster_agree(self):
+        system, _ = run_system(FaultModel.CRASH, cross_fraction=0.2)
+        for cluster_id, views in system.all_views().items():
+            heights = {view.height for view in views}
+            assert len(heights) == 1, f"cluster {cluster_id} replicas diverge: {heights}"
+            hashes = {view.head_hash for view in views}
+            assert len(hashes) == 1
+
+    def test_cross_blocks_present_in_all_involved_views(self):
+        system, _ = run_system(FaultModel.CRASH, cross_fraction=0.5)
+        views = system.views()
+        checked = 0
+        for view in views.values():
+            for block in view.cross_shard_blocks():
+                for cluster in block.involved_clusters:
+                    assert views[cluster].contains_tx(block.tx_ids[0])
+                checked += 1
+        assert checked > 0
+
+    def test_clients_receive_replies(self):
+        system, stats = run_system(FaultModel.CRASH, cross_fraction=0.2)
+        completed = sum(client.completed for client in system.clients)
+        assert completed >= stats.committed
+        assert all(client.failed == 0 for client in system.clients)
+
+    def test_throughput_scales_with_clusters(self):
+        # Enough clients to saturate the smaller deployment, so the extra
+        # clusters show up as extra throughput (Figure 8 in miniature).
+        _, two = run_system(FaultModel.CRASH, 0.1, clients=72, num_clusters=2)
+        _, four = run_system(FaultModel.CRASH, 0.1, clients=72, num_clusters=4)
+        assert four.throughput > 1.4 * two.throughput
+
+
+class TestByzantineDeployment:
+    def test_intra_shard_only(self):
+        system, stats = run_system(FaultModel.BYZANTINE, cross_fraction=0.0)
+        assert stats.committed > 50
+        report = system.audit()
+        assert report.ok, report.problems
+        assert system.total_balance() == system.expected_total_balance()
+
+    def test_mixed_workload(self):
+        system, stats = run_system(FaultModel.BYZANTINE, cross_fraction=0.3)
+        assert stats.committed_cross > 5
+        report = system.audit()
+        assert report.ok, report.problems
+        assert system.total_balance() == system.expected_total_balance()
+
+    def test_clients_need_f_plus_one_matching_replies(self):
+        system, _ = run_system(FaultModel.BYZANTINE, cross_fraction=0.0, clients=4)
+        assert system.required_replies == 2
+
+    def test_replicas_of_a_cluster_agree(self):
+        system, _ = run_system(FaultModel.BYZANTINE, cross_fraction=0.2)
+        for cluster_id, views in system.all_views().items():
+            assert len({view.head_hash for view in views}) == 1
+
+
+class TestFaultTolerance:
+    def test_backup_crash_does_not_stop_progress_crash_model(self):
+        config = SystemConfig.build(2, FaultModel.CRASH, seed=9)
+        workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=32, num_clients=8)
+        system = SharPerSystem(config, workload, seed=9)
+        metrics = MetricsCollector()
+        clients = system.spawn_clients(6, metrics)
+        system.start_clients(clients)
+        system.sim.run(until=0.05)
+        # Crash one backup of cluster 0 (f = 1 tolerated).
+        system.crash_node(int(config.clusters[0].node_ids[-1]))
+        before = sum(view.height for view in system.views().values())
+        system.sim.run(until=0.15)
+        after = sum(view.height for view in system.views().values())
+        assert after > before
+        system.drain()
+        assert system.audit().ok
+
+    def test_primary_crash_triggers_view_change(self):
+        from repro.common.config import ProtocolTuning
+
+        tuning = ProtocolTuning(view_change_timeout=0.05)
+        config = SystemConfig.build(2, FaultModel.CRASH, tuning=tuning, seed=11)
+        workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=32, num_clients=8)
+        system = SharPerSystem(config, workload, seed=11)
+        metrics = MetricsCollector()
+        clients = system.spawn_clients(4, metrics, retry_timeout=0.1)
+        system.start_clients(clients)
+        system.sim.run(until=0.05)
+        system.crash_primary(config.clusters[0].cluster_id)
+        system.sim.run(until=0.8)
+        # A non-crashed replica of cluster 0 took over as primary.
+        survivors = [
+            replica
+            for replica in system.replicas_of(config.clusters[0].cluster_id)
+            if not replica.crashed
+        ]
+        assert any(replica.intra.view > 0 for replica in survivors)
+        # And the cluster keeps committing new transactions after failover.
+        height_after_failover = max(replica.chain.height for replica in survivors)
+        system.sim.run(until=1.2)
+        assert max(replica.chain.height for replica in survivors) > height_after_failover

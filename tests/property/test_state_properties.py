@@ -1,0 +1,125 @@
+"""Property-based tests for the account store, executor, and workload."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.txn.accounts import AccountStore, ShardMapper
+from repro.txn.execution import TransactionExecutor
+from repro.txn.transaction import Transaction, Transfer
+from repro.txn.workload import WorkloadConfig, WorkloadGenerator
+
+NUM_SHARDS = 3
+ACCOUNTS_PER_SHARD = 8
+TOTAL = NUM_SHARDS * ACCOUNTS_PER_SHARD
+
+
+def build_shards(initial_balance=1000):
+    mapper = ShardMapper(NUM_SHARDS, ACCOUNTS_PER_SHARD)
+    executors = {}
+    stores = {}
+    for shard in range(NUM_SHARDS):
+        store = AccountStore.bootstrap(
+            shard, mapper, initial_balance,
+            owner_of={a: a % 4 for a in mapper.accounts_in_shard(shard)},
+        )
+        stores[shard] = store
+        executors[shard] = TransactionExecutor(store, mapper, shard)
+    return mapper, stores, executors
+
+
+transfer_strategy = st.tuples(
+    st.integers(min_value=0, max_value=TOTAL - 1),
+    st.integers(min_value=0, max_value=TOTAL - 1),
+    st.integers(min_value=1, max_value=50),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(transfer_strategy, max_size=40))
+def test_total_balance_is_conserved_by_any_transfer_sequence(raw_transfers):
+    mapper, stores, executors = build_shards()
+    initial_total = sum(store.total_balance() for store in stores.values())
+    for source, destination, amount in raw_transfers:
+        if source == destination:
+            continue
+        tx = Transaction.transfer(
+            client=source % 4, source=source, destination=destination, amount=amount
+        )
+        involved = tx.involved_shards(mapper)
+        # Apply the transaction at every involved shard, as consensus would.
+        results = [executors[shard].execute(tx) for shard in sorted(involved)]
+        # A transaction is either applied by every involved shard or by none
+        # (the source shard validates; with these balances it always succeeds
+        # or fails only on overdraft, in which case we skip the rest).
+        if not all(result.success for result in results):
+            assume(False)
+    assert sum(store.total_balance() for store in stores.values()) == initial_total
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(transfer_strategy, min_size=1, max_size=30))
+def test_balances_never_go_negative(raw_transfers):
+    mapper, stores, executors = build_shards(initial_balance=20)
+    for source, destination, amount in raw_transfers:
+        if source == destination:
+            continue
+        tx = Transaction.transfer(
+            client=source % 4, source=source, destination=destination, amount=amount
+        )
+        for shard in sorted(tx.involved_shards(mapper)):
+            executors[shard].execute(tx)
+    for store in stores.values():
+        for account in store:
+            assert account.balance >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_workload_generator_respects_shard_counts(cross_fraction, shards_per_tx, seed):
+    config = WorkloadConfig(
+        cross_shard_fraction=cross_fraction,
+        shards_per_cross_tx=shards_per_tx,
+        accounts_per_shard=16,
+        num_clients=8,
+    )
+    generator = WorkloadGenerator(config, num_shards=4, seed=seed)
+    for tx in generator.stream(30):
+        shards = tx.involved_shards(generator.mapper)
+        assert 1 <= len(shards) <= max(2, shards_per_tx)
+        if len(shards) > 1:
+            assert len(shards) == shards_per_tx
+        # The issuing client owns every source account.
+        for transfer in tx.transfers:
+            assert tx.client == generator.owner_of(transfer.source)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_workload_is_deterministic_in_the_seed(seed):
+    config = WorkloadConfig(cross_shard_fraction=0.4, accounts_per_shard=32)
+    first = [
+        (tx.transfers, tx.client)
+        for tx in WorkloadGenerator(config, num_shards=4, seed=seed).stream(20)
+    ]
+    second = [
+        (tx.transfers, tx.client)
+        for tx in WorkloadGenerator(config, num_shards=4, seed=seed).stream(20)
+    ]
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=TOTAL - 1), min_size=1, max_size=10))
+def test_shard_mapper_partitions_the_keyspace(accounts):
+    mapper = ShardMapper(NUM_SHARDS, ACCOUNTS_PER_SHARD)
+    for account in accounts:
+        shard = mapper.shard_of(account)
+        assert account in mapper.accounts_in_shard(shard)
+    # Every account belongs to exactly one shard.
+    all_ranges = [set(mapper.accounts_in_shard(s)) for s in range(NUM_SHARDS)]
+    union = set().union(*all_ranges)
+    assert len(union) == TOTAL

@@ -1,0 +1,120 @@
+"""Unit tests for the account store and shard mapper."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    InsufficientBalanceError,
+    UnknownAccountError,
+    ValidationError,
+)
+from repro.txn.accounts import AccountStore, ShardMapper
+
+
+class TestShardMapper:
+    def test_contiguous_ranges(self):
+        mapper = ShardMapper(num_shards=4, accounts_per_shard=10)
+        assert mapper.shard_of(0) == 0
+        assert mapper.shard_of(9) == 0
+        assert mapper.shard_of(10) == 1
+        assert mapper.shard_of(39) == 3
+        assert mapper.total_accounts == 40
+
+    def test_out_of_range_account(self):
+        mapper = ShardMapper(4, 10)
+        with pytest.raises(UnknownAccountError):
+            mapper.shard_of(40)
+        with pytest.raises(UnknownAccountError):
+            mapper.shard_of(-1)
+
+    def test_accounts_in_shard(self):
+        mapper = ShardMapper(3, 5)
+        assert list(mapper.accounts_in_shard(1)) == [5, 6, 7, 8, 9]
+        with pytest.raises(ConfigurationError):
+            mapper.accounts_in_shard(3)
+
+    def test_shards_of_multiple_accounts(self):
+        mapper = ShardMapper(4, 10)
+        assert mapper.shards_of([1, 2, 3]) == frozenset({0})
+        assert mapper.shards_of([1, 15, 35]) == frozenset({0, 1, 3})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ShardMapper(0, 10)
+        with pytest.raises(ConfigurationError):
+            ShardMapper(2, 0)
+
+
+class TestAccountStore:
+    def test_bootstrap_populates_shard(self):
+        mapper = ShardMapper(2, 4)
+        store = AccountStore.bootstrap(1, mapper, initial_balance=100)
+        assert len(store) == 4
+        assert store.balance(4) == 100
+        assert 3 not in store
+        assert store.total_balance() == 400
+
+    def test_create_duplicate_account_rejected(self):
+        store = AccountStore()
+        store.create_account(1, owner=1, balance=10)
+        with pytest.raises(ValidationError):
+            store.create_account(1, owner=2, balance=5)
+
+    def test_negative_initial_balance_rejected(self):
+        store = AccountStore()
+        with pytest.raises(ValidationError):
+            store.create_account(1, owner=1, balance=-1)
+
+    def test_deposit_and_withdraw(self):
+        store = AccountStore()
+        store.create_account(1, owner=7, balance=50)
+        store.deposit(1, 25)
+        assert store.balance(1) == 75
+        store.withdraw(1, 30)
+        assert store.balance(1) == 45
+
+    def test_withdraw_checks_owner(self):
+        store = AccountStore()
+        store.create_account(1, owner=7, balance=50)
+        with pytest.raises(ValidationError):
+            store.withdraw(1, 10, requester=8)
+        store.withdraw(1, 10, requester=7)
+        assert store.balance(1) == 40
+
+    def test_overdraft_rejected(self):
+        store = AccountStore()
+        store.create_account(1, owner=7, balance=5)
+        with pytest.raises(InsufficientBalanceError):
+            store.withdraw(1, 6)
+        assert store.balance(1) == 5
+
+    def test_unknown_account(self):
+        store = AccountStore()
+        with pytest.raises(UnknownAccountError):
+            store.balance(42)
+
+    def test_negative_amounts_rejected(self):
+        store = AccountStore()
+        store.create_account(1, owner=1, balance=10)
+        with pytest.raises(ValidationError):
+            store.deposit(1, -1)
+        with pytest.raises(ValidationError):
+            store.withdraw(1, -1)
+
+    def test_snapshot_and_restore(self):
+        store = AccountStore()
+        store.create_account(1, owner=1, balance=10)
+        store.create_account(2, owner=2, balance=20)
+        snapshot = store.snapshot()
+        store.deposit(1, 100)
+        store.restore(snapshot)
+        assert store.balance(1) == 10
+        assert store.balance(2) == 20
+
+    def test_version_increments_on_writes(self):
+        store = AccountStore()
+        store.create_account(1, owner=1, balance=10)
+        version = store.version
+        store.deposit(1, 1)
+        store.withdraw(1, 1)
+        assert store.version == version + 2

@@ -1,0 +1,65 @@
+"""Unit tests for the measurement utilities."""
+
+import pytest
+
+from repro.common.metrics import LatencySample, MetricsCollector, summarize_latencies
+
+
+class TestLatencySample:
+    def test_latency(self):
+        sample = LatencySample("tx", submitted_at=1.0, committed_at=1.25)
+        assert sample.latency == pytest.approx(0.25)
+
+
+class TestSummaries:
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary["mean"] == 0.0 and summary["p99"] == 0.0
+
+    def test_percentiles(self):
+        values = [i / 100 for i in range(1, 101)]
+        summary = summarize_latencies(values)
+        assert summary["mean"] == pytest.approx(0.505)
+        assert summary["p50"] == pytest.approx(0.50)
+        assert summary["p95"] == pytest.approx(0.95)
+        assert summary["max"] == pytest.approx(1.0)
+
+
+class TestMetricsCollector:
+    def test_throughput_over_steady_window(self):
+        collector = MetricsCollector(warmup=1.0, measure_until=3.0)
+        # 10 transactions submitted inside the window, 5 outside.
+        for index in range(10):
+            collector.record_commit(f"in-{index}", submitted_at=1.5, committed_at=1.6)
+        for index in range(5):
+            collector.record_commit(f"out-{index}", submitted_at=0.5, committed_at=0.6)
+        stats = collector.finalize(end_time=10.0)
+        assert stats.committed == 10
+        assert stats.throughput == pytest.approx(10 / 2.0)
+        assert stats.avg_latency == pytest.approx(0.1)
+
+    def test_cross_and_intra_latency_split(self):
+        collector = MetricsCollector()
+        collector.record_commit("a", 0.0, 0.1, cross_shard=False)
+        collector.record_commit("b", 0.0, 0.3, cross_shard=True)
+        stats = collector.finalize(end_time=1.0)
+        assert stats.avg_latency_intra == pytest.approx(0.1)
+        assert stats.avg_latency_cross == pytest.approx(0.3)
+        assert stats.committed_cross == 1
+
+    def test_aborts_and_submissions_counted(self):
+        collector = MetricsCollector()
+        collector.record_submission()
+        collector.record_submission()
+        collector.record_abort()
+        stats = collector.finalize(end_time=1.0)
+        assert collector.submitted == 2
+        assert stats.aborted == 1
+
+    def test_as_dict_units(self):
+        collector = MetricsCollector()
+        collector.record_commit("a", 0.0, 0.050)
+        stats = collector.finalize(end_time=1.0)
+        row = stats.as_dict()
+        assert row["avg_latency_ms"] == pytest.approx(50.0)
+        assert row["throughput_tps"] == stats.throughput

@@ -1,0 +1,128 @@
+"""Unit tests for the simulated network (latency, FIFO, faults)."""
+
+import pytest
+
+from repro.common.config import PerformanceModel
+from repro.common.errors import NetworkError
+from repro.sim.costs import CostModel
+from repro.sim.network import ClusteredLatencyModel, Network, UniformLatencyModel
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Recorder(Process):
+    """Process that records every delivered message with its arrival time."""
+
+    def __init__(self, pid, sim, network):
+        super().__init__(pid, sim, network, CostModel(PerformanceModel(message_cpu=0.0)))
+        self.received = []
+
+    def on_message(self, message, src):
+        self.received.append((self.sim.now, src, message))
+
+
+def make_net(latency=1e-3, jitter=0.0, drop_rate=0.0, fifo=True):
+    sim = Simulator(seed=3)
+    network = Network(sim, UniformLatencyModel(latency, jitter, rng=sim.rng), drop_rate, fifo=fifo)
+    nodes = [Recorder(pid, sim, network) for pid in range(3)]
+    return sim, network, nodes
+
+
+class TestDelivery:
+    def test_point_to_point_delivery(self):
+        sim, network, nodes = make_net()
+        network.send(0, 1, "hello")
+        sim.run()
+        assert [(src, msg) for _, src, msg in nodes[1].received] == [(0, "hello")]
+
+    def test_latency_applied(self):
+        sim, network, nodes = make_net(latency=5e-3)
+        network.send(0, 1, "x")
+        sim.run()
+        assert nodes[1].received[0][0] == pytest.approx(5e-3)
+
+    def test_unknown_destination_raises(self):
+        sim, network, _ = make_net()
+        with pytest.raises(NetworkError):
+            network.send(0, 99, "x")
+
+    def test_multicast_excludes_self_by_default(self):
+        sim, network, nodes = make_net()
+        sent = network.multicast(0, [0, 1, 2], "m")
+        sim.run()
+        assert sent == 2
+        assert not nodes[0].received
+        assert nodes[1].received and nodes[2].received
+
+    def test_fifo_preserves_per_link_order_despite_jitter(self):
+        sim, network, nodes = make_net(latency=1e-3, jitter=2.0)
+        for index in range(20):
+            network.send(0, 1, index)
+        sim.run()
+        payloads = [msg for _, _, msg in nodes[1].received]
+        assert payloads == list(range(20))
+
+    def test_non_fifo_network_may_reorder(self):
+        sim, network, nodes = make_net(latency=1e-3, jitter=5.0, fifo=False)
+        for index in range(30):
+            network.send(0, 1, index)
+        sim.run()
+        payloads = [msg for _, _, msg in nodes[1].received]
+        assert sorted(payloads) == list(range(30))
+
+
+class TestFaults:
+    def test_drop_rate_loses_messages(self):
+        sim, network, nodes = make_net(drop_rate=0.5)
+        for _ in range(200):
+            network.send(0, 1, "x")
+        sim.run()
+        assert 0 < len(nodes[1].received) < 200
+        assert network.messages_dropped > 0
+
+    def test_disconnect_and_reconnect(self):
+        sim, network, nodes = make_net()
+        network.disconnect(0, 1)
+        network.send(0, 1, "lost")
+        network.reconnect(0, 1)
+        network.send(0, 1, "delivered")
+        sim.run()
+        assert [msg for _, _, msg in nodes[1].received] == ["delivered"]
+
+    def test_partition_blocks_cross_group_traffic(self):
+        sim, network, nodes = make_net()
+        network.partition([[0], [1, 2]])
+        network.send(0, 1, "blocked")
+        network.send(1, 2, "ok")
+        sim.run()
+        assert not nodes[1].received
+        assert nodes[2].received
+        network.heal()
+        network.send(0, 1, "after-heal")
+        sim.run()
+        assert [msg for _, _, msg in nodes[1].received] == ["after-heal"]
+
+    def test_invalid_drop_rate(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            Network(sim, UniformLatencyModel(1e-3), drop_rate=1.5)
+
+
+class TestClusteredLatencyModel:
+    def test_intra_vs_cross_vs_client(self):
+        perf = PerformanceModel(
+            intra_cluster_latency=1e-3,
+            cross_cluster_latency=10e-3,
+            client_latency=3e-3,
+            latency_jitter=0.0,
+        )
+        model = ClusteredLatencyModel(perf, {0: 0, 1: 0, 2: 1})
+        assert model.delay(0, 1) == pytest.approx(1e-3)
+        assert model.delay(0, 2) == pytest.approx(10e-3)
+        assert model.delay(0, 999) == pytest.approx(3e-3)
+
+    def test_jitter_bounded(self):
+        perf = PerformanceModel(intra_cluster_latency=1e-3, latency_jitter=0.5)
+        model = ClusteredLatencyModel(perf, {0: 0, 1: 0})
+        for _ in range(100):
+            assert 1e-3 <= model.delay(0, 1) <= 1.5e-3

@@ -1,0 +1,99 @@
+"""Unit tests for the simulated process CPU model and fault injection."""
+
+import pytest
+
+from repro.common.config import PerformanceModel
+from repro.sim.costs import CostModel
+from repro.sim.network import Network, UniformLatencyModel
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Echo(Process):
+    def __init__(self, pid, sim, network, cost_model):
+        super().__init__(pid, sim, network, cost_model)
+        self.handled = []
+
+    def on_message(self, message, src):
+        self.handled.append((self.sim.now, message))
+
+
+def build(message_cpu=1e-3):
+    sim = Simulator()
+    network = Network(sim, UniformLatencyModel(0.0), fifo=True)
+    cost = CostModel(PerformanceModel(message_cpu=message_cpu, latency_jitter=0.0))
+    a = Echo(0, sim, network, cost)
+    b = Echo(1, sim, network, cost)
+    return sim, network, a, b
+
+
+class TestCpuModel:
+    def test_messages_are_serialised_on_one_cpu(self):
+        sim, network, a, b = build(message_cpu=1e-3)
+        network.send(0, 1, "m1")
+        network.send(0, 1, "m2")
+        network.send(0, 1, "m3")
+        sim.run()
+        times = [t for t, _ in b.handled]
+        # Each message occupies the CPU for 1 ms; handlers run back to back.
+        assert times == pytest.approx([1e-3, 2e-3, 3e-3])
+        assert b.cpu_busy_time == pytest.approx(3e-3)
+
+    def test_charge_accumulates_busy_time(self):
+        sim, network, a, b = build()
+        a.charge(2e-3)
+        a.charge(1e-3)
+        assert a.cpu_free_at == pytest.approx(3e-3)
+        assert a.utilization(10e-3) == pytest.approx(0.3)
+
+    def test_send_costs_cpu(self):
+        sim, network, a, b = build(message_cpu=1e-3)
+        a.send(1, "x")
+        assert a.cpu_free_at > 0
+        assert a.messages_sent == 1
+
+    def test_signature_costs_are_charged(self):
+        class Signed:
+            verify_signatures = 2
+            sign_signatures = 1
+
+        perf = PerformanceModel(
+            message_cpu=1e-3, signature_verify_cpu=5e-3, signature_sign_cpu=7e-3
+        )
+        cost = CostModel(perf)
+        assert cost.receive_cost(Signed()) == pytest.approx(1e-3 + 2 * 5e-3)
+        assert cost.send_cost(Signed(), destinations=3) == pytest.approx(7e-3 + 3 * 0.5e-3)
+
+
+class TestFaultInjection:
+    def test_crashed_process_ignores_messages(self):
+        sim, network, a, b = build()
+        b.crash()
+        network.send(0, 1, "lost")
+        sim.run()
+        assert b.handled == []
+
+    def test_recovered_process_resumes(self):
+        sim, network, a, b = build()
+        b.crash()
+        network.send(0, 1, "lost")
+        sim.run()
+        b.recover()
+        network.send(0, 1, "ok")
+        sim.run()
+        assert [m for _, m in b.handled] == ["ok"]
+
+    def test_crashed_process_timers_do_not_fire(self):
+        sim, network, a, b = build()
+        fired = []
+        b.set_timer(1.0, fired.append, "x")
+        b.crash()
+        sim.run()
+        assert fired == []
+
+    def test_on_message_must_be_overridden(self):
+        sim = Simulator()
+        network = Network(sim, UniformLatencyModel(0.0))
+        proc = Process(9, sim, network, CostModel(PerformanceModel()))
+        with pytest.raises(NotImplementedError):
+            proc.on_message("x", 0)

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, fired.append, "late")
+        queue.push(1.0, fired.append, "early")
+        queue.pop().fire()
+        queue.pop().fire()
+        assert fired == ["early", "late"]
+
+    def test_ties_resolved_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, fired.append, "first")
+        queue.push(1.0, fired.append, "second")
+        queue.pop().fire()
+        queue.pop().fire()
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, fired.append, "cancelled")
+        queue.push(2.0, fired.append, "kept")
+        event.cancel()
+        assert len(queue) == 1
+        queue.pop().fire()
+        assert fired == ["kept"]
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_idle_run_advances_clock_to_horizon(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_scheduling_in_the_past_is_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_timers_can_be_cancelled(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.set_timer(1.0, fired.append, "x")
+        assert timer.active
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.active
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=4)
+        assert sim.processed_events == 4
+        assert sim.pending_events == 6
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(0.1, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_rng_is_seeded(self):
+        assert Simulator(seed=42).rng.random() == Simulator(seed=42).rng.random()
+        assert Simulator(seed=1).rng.random() != Simulator(seed=2).rng.random()

@@ -1,0 +1,83 @@
+"""Unit tests for transactions: construction, classification, signing."""
+
+import pytest
+
+from repro.common.crypto import KeyPair
+from repro.common.errors import ValidationError
+from repro.common.types import TxType
+from repro.txn.accounts import ShardMapper
+from repro.txn.transaction import Transaction, Transfer
+
+
+class TestTransfer:
+    def test_valid_transfer(self):
+        transfer = Transfer(source=1, destination=2, amount=5)
+        assert transfer.accounts == (1, 2)
+
+    def test_zero_or_negative_amount_rejected(self):
+        with pytest.raises(ValidationError):
+            Transfer(source=1, destination=2, amount=0)
+        with pytest.raises(ValidationError):
+            Transfer(source=1, destination=2, amount=-3)
+
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ValidationError):
+            Transfer(source=1, destination=1, amount=5)
+
+
+class TestTransaction:
+    def test_requires_at_least_one_transfer(self):
+        with pytest.raises(ValidationError):
+            Transaction(tx_id="t", client=1, transfers=())
+
+    def test_accounts_and_sets(self):
+        tx = Transaction.multi_transfer(
+            client=1,
+            transfers=[Transfer(1, 2, 5), Transfer(1, 30, 7)],
+        )
+        assert tx.accounts == frozenset({1, 2, 30})
+        assert tx.read_set == frozenset({1})
+        assert tx.write_set == frozenset({1, 2, 30})
+
+    def test_tx_ids_are_unique(self):
+        a = Transaction.transfer(client=1, source=1, destination=2, amount=1)
+        b = Transaction.transfer(client=1, source=1, destination=2, amount=1)
+        assert a.tx_id != b.tx_id
+
+    def test_payload_digest_stable_and_distinct(self):
+        a = Transaction.transfer(client=1, source=1, destination=2, amount=1, tx_id="fixed")
+        b = Transaction.transfer(client=1, source=1, destination=2, amount=1, tx_id="fixed")
+        c = Transaction.transfer(client=1, source=1, destination=2, amount=2, tx_id="fixed")
+        assert a.payload_digest() == b.payload_digest()
+        assert a.payload_digest() != c.payload_digest()
+
+    def test_intra_vs_cross_classification(self):
+        mapper = ShardMapper(num_shards=4, accounts_per_shard=10)
+        intra = Transaction.transfer(client=1, source=1, destination=2, amount=1)
+        cross = Transaction.transfer(client=1, source=1, destination=15, amount=1)
+        assert intra.tx_type(mapper) is TxType.INTRA_SHARD
+        assert cross.tx_type(mapper) is TxType.CROSS_SHARD
+        assert not intra.is_cross_shard(mapper)
+        assert cross.involved_shards(mapper) == frozenset({0, 1})
+
+    def test_multi_shard_transaction(self):
+        mapper = ShardMapper(num_shards=4, accounts_per_shard=10)
+        tx = Transaction.multi_transfer(
+            client=1, transfers=[Transfer(1, 15, 2), Transfer(1, 25, 2), Transfer(1, 35, 2)]
+        )
+        assert tx.involved_shards(mapper) == frozenset({0, 1, 2, 3})
+
+    def test_signature_roundtrip(self):
+        keypair = KeyPair(owner=5)
+        tx = Transaction.transfer(client=5, source=1, destination=2, amount=1, keypair=keypair)
+        assert tx.signature is not None
+        assert tx.verify_signature()
+
+    def test_signature_of_wrong_client_fails(self):
+        keypair = KeyPair(owner=6)
+        tx = Transaction.transfer(client=5, source=1, destination=2, amount=1, keypair=keypair)
+        assert not tx.verify_signature()
+
+    def test_unsigned_transaction_does_not_verify(self):
+        tx = Transaction.transfer(client=5, source=1, destination=2, amount=1)
+        assert not tx.verify_signature()
