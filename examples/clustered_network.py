@@ -3,10 +3,14 @@
 Part 1 reproduces the paper's worked example: 23 Byzantine nodes with a
 global failure bound f = 3 can only form 2 clusters, but knowing the
 per-cloud bounds (group A: 7 nodes with f = 2, group B: 16 nodes with
-f = 1) yields 5 clusters — and 5 clusters means more parallelism.
+f = 1) yields 5 clusters — and 5 clusters means more parallelism.  The
+grouped deployment is handed to a :class:`repro.api.Scenario` through
+:class:`repro.api.DeploymentSpec`'s explicit ``config`` override.
 
-Part 2 crashes a cluster primary mid-run and shows the view change
-electing a new primary while the cluster keeps committing.
+Part 2 declares a :class:`repro.api.FaultSchedule` that crashes a
+cluster primary mid-run and shows the view change electing a new primary
+while the cluster keeps committing — no manual ``sim.run``/``crash``
+interleaving.
 
 Run with::
 
@@ -15,9 +19,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FaultModel, SharPerSystem, SystemConfig, WorkloadConfig
+from repro import FaultModel, WorkloadConfig
+from repro.api import DeploymentSpec, FaultSchedule, Scenario
 from repro.common.config import NodeGroup, ProtocolTuning, plan_clusters
-from repro.common.metrics import MetricsCollector
 from repro.core.sharding import build_grouped_system, plan_clusters_grouped
 
 
@@ -34,41 +38,49 @@ def clustered_network_demo() -> None:
     for cluster in config.clusters:
         print(f"    cluster p{cluster.cluster_id}: {cluster.size} nodes, f = {cluster.f}")
 
-    workload = WorkloadConfig(cross_shard_fraction=0.1, accounts_per_shard=128, num_clients=16)
-    system = SharPerSystem(config, workload)
-    metrics = MetricsCollector(warmup=0.05, measure_until=0.3)
-    clients = system.spawn_clients(48, metrics)
-    system.start_clients(clients)
-    end = system.sim.run(until=0.3)
-    system.drain()
-    stats = metrics.finalize(end)
-    print(f"  throughput with 5 clusters: {stats.throughput:,.0f} tx/s "
-          f"(audit {'OK' if system.audit().ok else 'FAILED'})")
+    scenario = Scenario(
+        name="grouped-clusters",
+        deployment=DeploymentSpec(system="sharper", config=config),
+        workload=WorkloadConfig(cross_shard_fraction=0.1, accounts_per_shard=128, num_clients=16),
+        clients=48,
+        duration=0.3,
+        warmup=0.05,
+    )
+    result = scenario.run()
+    print(f"  throughput with 5 clusters: {result.throughput:,.0f} tx/s "
+          f"(audit {'OK' if result.audit.ok else 'FAILED'})")
     print()
 
 
 def failover_demo() -> None:
-    print("== primary crash and view change ==")
-    tuning = ProtocolTuning(view_change_timeout=0.05)
-    config = SystemConfig.build(2, FaultModel.CRASH, tuning=tuning)
-    workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=64, num_clients=8)
-    system = SharPerSystem(config, workload)
-    metrics = MetricsCollector()
-    clients = system.spawn_clients(4, metrics, retry_timeout=0.1)
-    system.start_clients(clients)
+    print("== primary crash and view change, as a declarative fault schedule ==")
+    scenario = Scenario(
+        name="primary-failover",
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=FaultModel.CRASH,
+            num_clusters=2,
+            tuning=ProtocolTuning(view_change_timeout=0.05),
+        ),
+        workload=WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=64, num_clients=8),
+        clients=4,
+        duration=1.0,
+        warmup=0.0,
+        retry_timeout=0.1,
+        faults=FaultSchedule().crash_primary(at=0.05, cluster=0),
+    )
+    for event in scenario.faults:
+        print(f"  scheduled: {event.describe()}")
+    result = scenario.run()
 
-    system.sim.run(until=0.05)
-    victim = config.clusters[0]
-    print(f"  crashing the primary of cluster p{victim.cluster_id} (node {victim.primary}) at t=50ms")
-    system.crash_primary(victim.cluster_id)
-    system.sim.run(until=1.0)
-
+    system = result.system
+    victim = system.config.clusters[0]
     survivors = [r for r in system.replicas_of(victim.cluster_id) if not r.crashed]
     new_view = max(replica.intra.view for replica in survivors)
     new_primary = victim.primary_for_view(new_view)
     print(f"  cluster p{victim.cluster_id} is now in view {new_view}; new primary is node {new_primary}")
     print(f"  cluster p{victim.cluster_id} chain height: {max(r.chain.height for r in survivors)} blocks")
-    print(f"  audit after fail-over: {'OK' if system.audit().ok else 'FAILED'}")
+    print(f"  audit after fail-over: {'OK' if result.audit.ok else 'FAILED'}")
 
 
 def main() -> None:

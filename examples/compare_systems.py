@@ -2,6 +2,11 @@
 
 Runs the four systems of Figure 6/7 under the same workload and prints a
 small table of peak throughput and latency, for both failure models.
+Each series is one declarative :class:`repro.api.Scenario` swept across
+client counts with :func:`repro.api.run_sweep`; the systems are resolved
+by name through the pluggable registry, so a third-party system
+registered with :func:`repro.api.register_system` would appear here by
+just adding its name.
 
 Run with::
 
@@ -12,9 +17,9 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench.harness import ExperimentSpec, run_curve
+from repro import FaultModel, WorkloadConfig
+from repro.api import DeploymentSpec, Scenario, run_sweep
 from repro.bench.reporting import format_table
-from repro.common.types import FaultModel
 
 LABELS = {
     FaultModel.CRASH: {"sharper": "SharPer", "ahl": "AHL-C", "apr": "APR-C", "fast": "FPaxos"},
@@ -28,20 +33,21 @@ def compare(fault_model: FaultModel, cross_fraction: float) -> None:
     )
     rows = []
     for system, label in LABELS[fault_model].items():
-        spec = ExperimentSpec(
-            system=system,
-            fault_model=fault_model,
-            cross_shard_fraction=cross_fraction,
+        scenario = Scenario(
+            name=label,
+            deployment=DeploymentSpec(system=system, fault_model=fault_model),
+            workload=WorkloadConfig(cross_shard_fraction=cross_fraction, accounts_per_shard=256, num_clients=32),
             duration=0.25,
             warmup=0.05,
+            verify=False,
         )
-        curve = run_curve(spec, client_counts=(16, 64, 128), label=label)
-        peak = curve.peak()
+        results = run_sweep(scenario, client_counts=(16, 64, 128))
+        peak = max(results, key=lambda result: result.throughput)
         rows.append(
             {
                 "system": label,
                 "peak_tps": f"{peak.throughput:,.0f}",
-                "latency_ms_at_peak": f"{peak.latency_ms:.2f}",
+                "latency_ms_at_peak": f"{peak.avg_latency_ms:.2f}",
             }
         )
     print(format_table(rows))

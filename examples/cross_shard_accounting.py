@@ -2,10 +2,13 @@
 
 This example mirrors the scenario the paper's introduction motivates: a
 blockchain-based accounting application where client accounts live in
-different shards and some transfers move assets between them.  It submits
-a handful of hand-written transactions (instead of a synthetic workload),
-waits for them to commit, and then walks the DAG to show where each one
-landed — including a Byzantine deployment with a 3-shard transaction.
+different shards and some transfers move assets between them.  The
+deployments are declared through :class:`repro.api.Scenario` /
+:class:`repro.api.DeploymentSpec` (``scenario.build_system()`` gives the
+live system without running a synthetic workload); the example then
+submits a handful of hand-written transactions, waits for them to
+commit, and walks the DAG to show where each one landed — including a
+Byzantine deployment with a 3-shard transaction.
 
 Run with::
 
@@ -14,11 +17,20 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FaultModel, SharPerSystem, SystemConfig, Transaction, Transfer, WorkloadConfig
+from repro import FaultModel, SharPerSystem, Transaction, Transfer, WorkloadConfig
+from repro.api import DeploymentSpec, Scenario
 from repro.common.metrics import MetricsCollector
 from repro.consensus.messages import ClientRequest
-from repro.core.client import CLIENT_PID_BASE
 from repro.ledger.dag import BlockDAG
+
+
+def build_system(fault_model: FaultModel) -> SharPerSystem:
+    """Declare the deployment and hand back the live (un-run) system."""
+    scenario = Scenario(
+        deployment=DeploymentSpec(system="sharper", fault_model=fault_model, num_clusters=4),
+        workload=WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=100, num_clients=8),
+    )
+    return scenario.build_system()
 
 
 def submit_and_run(system: SharPerSystem, transactions) -> None:
@@ -53,9 +65,7 @@ def describe(system: SharPerSystem) -> None:
 
 def crash_only_demo() -> None:
     print("== crash-only deployment (4 clusters of 3, Paxos + Algorithm 1) ==")
-    config = SystemConfig.build(4, FaultModel.CRASH)
-    workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=100, num_clients=8)
-    system = SharPerSystem(config, workload)
+    system = build_system(FaultModel.CRASH)
 
     # Accounts 0-99 live in shard d1, 100-199 in d2, 200-299 in d3, 300-399 in d4.
     transactions = [
@@ -75,9 +85,7 @@ def crash_only_demo() -> None:
 
 def byzantine_demo() -> None:
     print("== Byzantine deployment (4 clusters of 4, PBFT + Algorithm 2) ==")
-    config = SystemConfig.build(4, FaultModel.BYZANTINE)
-    workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=100, num_clients=8)
-    system = SharPerSystem(config, workload)
+    system = build_system(FaultModel.BYZANTINE)
 
     transactions = [
         Transaction.transfer(client=4, source=4, destination=9, amount=3),

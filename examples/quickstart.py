@@ -1,63 +1,67 @@
-"""Quickstart: build a 4-cluster SharPer deployment and run a small workload.
+"""Quickstart: declare a SharPer scenario and run it end to end.
 
 Run with::
 
     python examples/quickstart.py
 
-It builds the paper's crash-only setup (12 nodes, four clusters of three,
-Paxos intra-shard, Algorithm 1 cross-shard), drives it with closed-loop
-clients issuing 20% cross-shard transfers, and prints throughput, latency,
-the per-cluster chains, and the result of the ledger consistency audit.
+One :class:`repro.api.Scenario` describes the paper's crash-only setup
+(12 nodes, four clusters of three, Paxos intra-shard, Algorithm 1
+cross-shard) with closed-loop clients issuing 20% cross-shard transfers;
+``scenario.run()`` owns the whole lifecycle — build, drive, drain,
+audit — and returns a :class:`repro.api.ScenarioResult` bundling
+throughput, latency, the per-cluster chains, the ledger consistency
+audit, and the balance-conservation check.
 """
 
 from __future__ import annotations
 
-from repro import FaultModel, SharPerSystem, SystemConfig, WorkloadConfig
-from repro.common.metrics import MetricsCollector
+from repro import FaultModel, WorkloadConfig
+from repro.api import DeploymentSpec, Scenario
 
 
 def main() -> None:
-    # 1. Describe the deployment: 4 clusters, crash-only nodes, f = 1.
-    config = SystemConfig.build(num_clusters=4, fault_model=FaultModel.CRASH, f=1)
-
-    # 2. Describe the workload: 20% cross-shard transfers over 4 shards.
-    workload = WorkloadConfig(
-        cross_shard_fraction=0.20,
-        accounts_per_shard=256,
-        num_clients=32,
+    # One declarative object: deployment + workload + client mix + duration.
+    scenario = Scenario(
+        name="quickstart",
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=FaultModel.CRASH,
+            num_clusters=4,
+            f=1,
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=0.20,
+            accounts_per_shard=256,
+            num_clients=32,
+        ),
+        clients=32,
+        duration=0.4,
+        warmup=0.05,
     )
 
-    # 3. Build the system and attach closed-loop clients.
-    system = SharPerSystem(config, workload)
-    metrics = MetricsCollector(warmup=0.05, measure_until=0.4)
-    clients = system.spawn_clients(32, metrics)
-    system.start_clients(clients)
+    # Run it: build, spawn clients, simulate, drain, audit.
+    result = scenario.run()
 
-    # 4. Run 0.4 simulated seconds, then let in-flight transactions finish.
-    end = system.sim.run(until=0.4)
-    system.drain()
-
-    # 5. Report performance.
-    stats = metrics.finalize(end)
     print("== SharPer quickstart (crash-only, 4 clusters, 20% cross-shard) ==")
+    stats = result.stats
     print(f"committed transactions : {stats.committed}")
     print(f"throughput             : {stats.throughput:,.0f} tx/s")
     print(f"average latency        : {stats.avg_latency * 1e3:.2f} ms")
     print(f"  intra-shard          : {stats.avg_latency_intra * 1e3:.2f} ms")
     print(f"  cross-shard          : {stats.avg_latency_cross * 1e3:.2f} ms")
 
-    # 6. Inspect the ledger: one chain view per cluster, cross-shard blocks
-    #    shared between the involved clusters (the DAG of Figure 2).
+    # The ledger: one chain view per cluster, cross-shard blocks shared
+    # between the involved clusters (the DAG of Figure 2).
     print("\nper-cluster chains:")
-    for cluster_id, view in sorted(system.views().items()):
+    for cluster_id, view in sorted(result.system.views().items()):
         cross = len(view.cross_shard_blocks())
         print(f"  cluster p{cluster_id}: {view.height} blocks ({cross} cross-shard)")
 
-    # 7. Audit safety: total order per shard, cross-shard consistency,
-    #    union-of-views DAG, and balance conservation.
-    report = system.audit()
-    print(f"\nledger audit           : {'OK' if report.ok else report.problems}")
-    print(f"balance conserved      : {system.total_balance() == system.expected_total_balance()}")
+    # Safety: total order per shard, cross-shard consistency, union-of-views
+    # DAG, and balance conservation — all bundled in the result.
+    audit = result.audit
+    print(f"\nledger audit           : {'OK' if audit.ok else audit.problems}")
+    print(f"balance conserved      : {result.balance_conserved}")
 
 
 if __name__ == "__main__":

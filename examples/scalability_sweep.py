@@ -2,7 +2,9 @@
 
 Runs the 90% intra / 10% cross-shard workload on 2..5 clusters for both
 failure models and prints the measured peak throughput, reproducing the
-shape of Figure 8 (near-linear scaling with the cluster count).
+shape of Figure 8 (near-linear scaling with the cluster count).  Each
+cluster count is a :class:`repro.api.Scenario` variation swept across
+client counts with :func:`repro.api.run_sweep`.
 
 Run with::
 
@@ -11,8 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.bench.harness import ExperimentSpec, run_curve
-from repro.common.types import FaultModel
+from repro import FaultModel, WorkloadConfig
+from repro.api import DeploymentSpec, Scenario, run_sweep
 
 
 def sweep(fault_model: FaultModel) -> None:
@@ -20,20 +22,24 @@ def sweep(fault_model: FaultModel) -> None:
     print(f"== SharPer scalability, {label}, 10% cross-shard ==")
     baseline = None
     for clusters in (2, 3, 4, 5):
-        spec = ExperimentSpec(
-            system="sharper",
-            fault_model=fault_model,
-            num_clusters=clusters,
-            cross_shard_fraction=0.1,
+        scenario = Scenario(
+            name=f"{clusters} clusters",
+            deployment=DeploymentSpec(
+                system="sharper", fault_model=fault_model, num_clusters=clusters
+            ),
+            workload=WorkloadConfig(
+                cross_shard_fraction=0.1, accounts_per_shard=256, num_clients=32
+            ),
             duration=0.25,
             warmup=0.05,
+            verify=False,
         )
-        curve = run_curve(spec, client_counts=(16, 64, 128), label=f"{clusters} clusters")
-        peak = curve.peak()
+        results = run_sweep(scenario, client_counts=(16, 64, 128))
+        peak = max(results, key=lambda result: result.throughput)
         baseline = baseline or peak.throughput
         print(
             f"  {clusters} clusters: peak {peak.throughput:9,.0f} tx/s "
-            f"at {peak.latency_ms:6.2f} ms  (x{peak.throughput / baseline:.2f} vs 2 clusters)"
+            f"at {peak.avg_latency_ms:6.2f} ms  (x{peak.throughput / baseline:.2f} vs 2 clusters)"
         )
     print()
 

@@ -9,6 +9,9 @@ run directly among the involved clusters.
 
 Public entry points
 -------------------
+* :mod:`repro.api` — the unified experiment surface: declarative
+  :class:`~repro.api.Scenario`, timed :class:`~repro.api.FaultSchedule`,
+  and the pluggable system registry (:func:`~repro.api.register_system`).
 * :class:`repro.core.SharPerSystem` — build and run the paper's system.
 * :mod:`repro.baselines` — APR, Fast Paxos, FaB, and AHL comparison systems.
 * :mod:`repro.bench` — the harness regenerating every figure of the paper.
@@ -17,18 +20,34 @@ Public entry points
 from .common import FaultModel, PerformanceModel, ProtocolTuning, SystemConfig
 from .core import SharPerSystem
 from .txn import Transaction, Transfer, WorkloadConfig, WorkloadGenerator
+from .api import (
+    DeploymentSpec,
+    FaultSchedule,
+    Scenario,
+    ScenarioResult,
+    available_systems,
+    get_system,
+    register_system,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DeploymentSpec",
     "FaultModel",
+    "FaultSchedule",
     "PerformanceModel",
     "ProtocolTuning",
+    "Scenario",
+    "ScenarioResult",
     "SharPerSystem",
     "SystemConfig",
     "Transaction",
     "Transfer",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "available_systems",
+    "get_system",
+    "register_system",
     "__version__",
 ]

@@ -1,0 +1,213 @@
+"""First-class fault schedules: timed fault events executed by the simulator.
+
+The paper's availability experiments crash primaries and backups at
+chosen points of a run.  Instead of interleaving ``sim.run`` calls with
+ad-hoc ``crash_node()`` calls, a :class:`FaultSchedule` declares *what
+happens when* up front::
+
+    faults = (
+        FaultSchedule()
+        .crash_primary(at=0.05, cluster=0)
+        .partition(at=0.10, groups=[[0], [1, 2, 3]])
+        .heal(at=0.15)
+    )
+
+and :meth:`FaultSchedule.arm` turns every event into a simulator event,
+so a single ``sim.run`` drives the whole scenario.  Events operate on
+the :class:`~repro.core.system.BaseSystem` fault-injection surface
+(``crash_node``/``recover_node``/``crash_primary``) and the network's
+partition primitives, so they work against every registered system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..common.errors import ConfigurationError
+from ..common.types import ClusterId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.system import BaseSystem
+
+__all__ = [
+    "CrashNode",
+    "CrashPrimary",
+    "FaultEvent",
+    "FaultSchedule",
+    "Heal",
+    "PartitionClusters",
+    "RecoverNode",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A single timed fault; ``apply`` runs at simulated time ``time``."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"fault events need a non-negative time, got {self.time}")
+
+    def apply(self, system: "BaseSystem") -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__} @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class CrashNode(FaultEvent):
+    """Crash one replica process."""
+
+    node_id: int = 0
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.crash_node(self.node_id)
+
+    def describe(self) -> str:
+        return f"crash node {self.node_id} @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class CrashPrimary(FaultEvent):
+    """Crash the initial (view-0) primary of one cluster.
+
+    After a view change the new primary is an ordinary node; crash it
+    with :class:`CrashNode` and the cluster's ``primary_for_view``.
+    """
+
+    cluster: int = 0
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.crash_primary(ClusterId(self.cluster))
+
+    def describe(self) -> str:
+        return f"crash primary of cluster p{self.cluster} @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class RecoverNode(FaultEvent):
+    """Restart a previously crashed replica (state retained, Section 2.1)."""
+
+    node_id: int = 0
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.recover_node(self.node_id)
+
+    def describe(self) -> str:
+        return f"recover node {self.node_id} @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class PartitionClusters(FaultEvent):
+    """Partition the network along cluster boundaries.
+
+    ``groups`` lists cluster ids; messages only flow between nodes whose
+    clusters share a group.  Processes not named by any group (clients,
+    clusters left out) keep full connectivity, matching
+    :meth:`repro.sim.network.Network.partition`.
+    """
+
+    groups: tuple[tuple[int, ...], ...] = ()
+
+    def apply(self, system: "BaseSystem") -> None:
+        pid_groups = []
+        for group in self.groups:
+            pids = []
+            for cluster in group:
+                cluster_config = system.config.cluster(ClusterId(cluster))
+                pids.extend(int(node) for node in cluster_config.node_ids)
+            pid_groups.append(pids)
+        system.network.partition(pid_groups)
+
+    def describe(self) -> str:
+        rendered = " | ".join(
+            ",".join(f"p{cluster}" for cluster in group) for group in self.groups
+        )
+        return f"partition [{rendered}] @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class Heal(FaultEvent):
+    """Remove every partition and severed link."""
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.network.heal()
+
+    def describe(self) -> str:
+        return f"heal network @ t={self.time:.3f}s"
+
+
+class FaultSchedule:
+    """An ordered collection of :class:`FaultEvent` with a fluent builder.
+
+    Schedules are append-only; every builder method returns ``self`` so
+    calls chain.  :meth:`arm` registers the events with a system's
+    simulator — after that, a plain ``sim.run`` executes them in time
+    order alongside the protocol traffic.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: list[FaultEvent] = sorted(events, key=lambda event: event.time)
+
+    # ------------------------------------------------------------------
+    # builder surface
+    # ------------------------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Append one event (kept sorted by time)."""
+        self._events.append(event)
+        self._events.sort(key=lambda item: item.time)
+        return self
+
+    def crash_node(self, at: float, node_id: int) -> "FaultSchedule":
+        """Crash replica ``node_id`` at simulated time ``at``."""
+        return self.add(CrashNode(time=at, node_id=node_id))
+
+    def crash_primary(self, at: float, cluster: int) -> "FaultSchedule":
+        """Crash the primary of ``cluster`` at simulated time ``at``."""
+        return self.add(CrashPrimary(time=at, cluster=cluster))
+
+    def recover_node(self, at: float, node_id: int) -> "FaultSchedule":
+        """Recover replica ``node_id`` at simulated time ``at``."""
+        return self.add(RecoverNode(time=at, node_id=node_id))
+
+    def partition(self, at: float, groups: Sequence[Sequence[int]]) -> "FaultSchedule":
+        """Partition the network along cluster boundaries at time ``at``."""
+        frozen = tuple(tuple(int(cluster) for cluster in group) for group in groups)
+        return self.add(PartitionClusters(time=at, groups=frozen))
+
+    def heal(self, at: float) -> "FaultSchedule":
+        """Heal all partitions and severed links at time ``at``."""
+        return self.add(Heal(time=at))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def arm(self, system: "BaseSystem") -> None:
+        """Schedule every event on ``system``'s simulator."""
+        for event in self._events:
+            system.sim.schedule_at(event.time, event.apply, system)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """The schedule's events in time order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:
+        inner = "; ".join(event.describe() for event in self._events) or "empty"
+        return f"FaultSchedule({inner})"

@@ -1,0 +1,121 @@
+"""Scenario results: performance, safety, and ledger state in one bundle.
+
+A :class:`ScenarioResult` is what :meth:`repro.api.Scenario.run` returns:
+the steady-state :class:`~repro.common.metrics.RunStats`, the per-cluster
+chain heights, the ledger :class:`~repro.ledger.validation.AuditReport`,
+and the balance-conservation check — plus the live system object for
+callers that want to inspect replicas directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..common.errors import ValidationError
+from ..common.metrics import RunStats
+from ..common.types import ClusterId
+from ..ledger.validation import AuditReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.system import BaseSystem
+    from .scenario import Scenario
+
+__all__ = ["ScenarioResult"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    #: the scenario that was run.
+    scenario: "Scenario"
+    #: the live system object (replicas, network, simulator still inspectable).
+    system: "BaseSystem"
+    #: steady-state performance statistics.
+    stats: RunStats
+    #: simulated time at which measurement stopped.
+    end_time: float
+    #: simulated time at which the drained system went idle (None if not drained).
+    idle_time: float | None = None
+    #: ledger consistency audit (None when the scenario skipped verification).
+    audit: AuditReport | None = None
+    #: committed chain height per cluster (from the representative views).
+    chain_heights: dict[ClusterId, int] = field(default_factory=dict)
+    #: observed and expected total balance (None when verification skipped).
+    total_balance: int | None = None
+    expected_balance: int | None = None
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    @property
+    def balance_conserved(self) -> bool:
+        """Whether the total minted balance survived the run intact."""
+        if self.total_balance is None or self.expected_balance is None:
+            return True
+        return self.total_balance == self.expected_balance
+
+    @property
+    def ok(self) -> bool:
+        """Audit passed (or was skipped) and balances are conserved."""
+        audit_ok = self.audit.ok if self.audit is not None else True
+        return audit_ok and self.balance_conserved
+
+    def raise_if_failed(self) -> None:
+        """Raise if the audit failed or balances were not conserved."""
+        if self.audit is not None:
+            self.audit.raise_if_failed()
+        if not self.balance_conserved:
+            raise ValidationError(
+                f"balance not conserved: have {self.total_balance}, "
+                f"expected {self.expected_balance}"
+            )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        return self.stats.throughput
+
+    @property
+    def avg_latency_ms(self) -> float:
+        """Average end-to-end latency in milliseconds."""
+        return self.stats.avg_latency * 1e3
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dictionary form, convenient for CSV/JSON reporting."""
+        row: dict[str, Any] = {
+            "scenario": self.scenario.name or self.scenario.deployment.system,
+            "system": self.scenario.deployment.system,
+            "clients": self.scenario.clients,
+            **self.stats.as_dict(),
+            "audit_ok": self.audit.ok if self.audit is not None else None,
+            "balance_conserved": self.balance_conserved,
+        }
+        for cluster_id in sorted(self.chain_heights):
+            row[f"height_p{int(cluster_id)}"] = self.chain_heights[cluster_id]
+        return row
+
+    def summary(self) -> str:
+        """A short human-readable account of the run."""
+        lines = [
+            f"scenario   : {self.scenario.name or self.scenario.deployment.system}",
+            f"committed  : {self.stats.committed} "
+            f"({self.stats.committed_cross} cross-shard)",
+            f"throughput : {self.stats.throughput:,.0f} tx/s",
+            f"latency    : {self.avg_latency_ms:.2f} ms avg, "
+            f"{self.stats.p95_latency * 1e3:.2f} ms p95",
+        ]
+        if self.chain_heights:
+            heights = ", ".join(
+                f"p{int(cluster_id)}={height}"
+                for cluster_id, height in sorted(self.chain_heights.items())
+            )
+            lines.append(f"chains     : {heights}")
+        if self.audit is not None:
+            lines.append(f"audit      : {'OK' if self.audit.ok else self.audit.problems}")
+            lines.append(f"balance    : {'conserved' if self.balance_conserved else 'VIOLATED'}")
+        return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Declarative scenarios: deployment + workload + clients + faults in one object.
+
+A :class:`Scenario` captures one cell of the paper's evaluation matrix —
+*which system*, under *which fault model*, driven by *which workload mix*,
+with *which faults injected when* — and :meth:`Scenario.run` executes the
+whole lifecycle (build, spawn clients, arm faults, simulate, drain,
+audit) that examples and benchmarks used to hand-wire::
+
+    from repro.api import DeploymentSpec, FaultSchedule, Scenario
+    from repro import FaultModel, WorkloadConfig
+
+    scenario = Scenario(
+        deployment=DeploymentSpec(system="sharper", fault_model=FaultModel.CRASH),
+        workload=WorkloadConfig(cross_shard_fraction=0.2, accounts_per_shard=256),
+        clients=32,
+        duration=0.4,
+        faults=FaultSchedule().crash_primary(at=0.1, cluster=0),
+    )
+    result = scenario.run()
+    print(result.summary())
+
+Scenarios are frozen dataclasses, so variations (client sweeps, fault
+ablations) are cheap ``dataclasses.replace`` copies — see
+:meth:`Scenario.with_clients` and :func:`run_sweep`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..common.config import PerformanceModel, ProtocolTuning, SystemConfig
+from ..common.errors import ConfigurationError
+from ..common.metrics import MetricsCollector
+from ..common.types import FaultModel
+from ..txn.workload import WorkloadConfig
+from .faults import FaultSchedule
+from .registry import get_system
+from .result import ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.system import BaseSystem
+
+__all__ = ["DeploymentSpec", "Scenario", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Which system to deploy, on what cluster topology.
+
+    Either describe a homogeneous deployment (``num_clusters``/``f``/
+    ``nodes_per_cluster``, built via :meth:`SystemConfig.build`) or hand
+    in an explicit :class:`SystemConfig` via ``config`` — e.g. one
+    produced by :func:`repro.core.sharding.build_grouped_system` for the
+    per-cloud clustering of Section 3.4.
+    """
+
+    system: str = "sharper"
+    fault_model: FaultModel = FaultModel.CRASH
+    num_clusters: int = 4
+    f: int = 1
+    nodes_per_cluster: int | None = None
+    performance: PerformanceModel = field(default_factory=PerformanceModel)
+    tuning: ProtocolTuning = field(default_factory=ProtocolTuning)
+    #: explicit topology override; when set, the fields above describing
+    #: the homogeneous layout are ignored.
+    config: SystemConfig | None = None
+
+    def resolve(self, seed: int = 0) -> SystemConfig:
+        """The concrete :class:`SystemConfig` this spec describes."""
+        if self.config is not None:
+            return self.config
+        return SystemConfig.build(
+            num_clusters=self.num_clusters,
+            fault_model=self.fault_model,
+            f=self.f,
+            nodes_per_cluster=self.nodes_per_cluster,
+            performance=self.performance,
+            tuning=self.tuning,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified experiment, runnable end to end."""
+
+    deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: display name used in reports; defaults to the system name.
+    name: str = ""
+    #: number of closed-loop clients driving the system.
+    clients: int = 32
+    #: simulated seconds to run and measure.
+    duration: float = 0.30
+    #: leading window whose samples are discarded (paper: steady state).
+    warmup: float = 0.06
+    #: simulated seconds granted to in-flight transactions after the
+    #: measurement window, before auditing.
+    drain_grace: float = 2.0
+    #: client retry/fail-over timeout (seconds).
+    retry_timeout: float = 2.0
+    seed: int = 1
+    #: timed faults injected during the run.
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: drain, audit, and check balance conservation after measuring.
+    verify: bool = True
+
+    @property
+    def label(self) -> str:
+        """Report label: the explicit name, or the system's short name."""
+        return self.name or self.deployment.system
+
+    # ------------------------------------------------------------------
+    # variations
+    # ------------------------------------------------------------------
+    def with_clients(self, clients: int) -> "Scenario":
+        """A copy of this scenario at a different offered load."""
+        return dataclasses.replace(self, clients=clients)
+
+    def with_faults(self, faults: FaultSchedule) -> "Scenario":
+        """A copy of this scenario with a different fault schedule."""
+        return dataclasses.replace(self, faults=faults)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def build_system(self) -> "BaseSystem":
+        """Instantiate the system under test (without running it)."""
+        system_cls = get_system(self.deployment.system)
+        config = self.deployment.resolve(seed=self.seed)
+        return system_cls(config, self.workload, seed=self.seed)
+
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and return the bundled result.
+
+        Lifecycle: build the system, spawn and start the closed-loop
+        clients, arm the fault schedule, simulate ``duration`` seconds,
+        snapshot the steady-state statistics, and — when ``verify`` is
+        set — drain in-flight transactions, audit the ledger, and check
+        balance conservation.
+        """
+        # Events may land in the measurement window or (when verifying,
+        # e.g. a heal before the audit) in the drain window — but an event
+        # past the run's horizon would silently never execute.
+        horizon = self.duration + (self.drain_grace if self.verify else 0.0)
+        for event in self.faults:
+            if event.time >= horizon:
+                raise ConfigurationError(
+                    f"fault event ({event.describe()}) is scheduled at or after "
+                    f"this scenario's horizon of {horizon}s (duration plus drain "
+                    "grace), so it would never execute"
+                )
+        system = self.build_system()
+        metrics = MetricsCollector(warmup=self.warmup, measure_until=self.duration)
+        group = system.spawn_clients(self.clients, metrics, retry_timeout=self.retry_timeout)
+        system.start_clients(group)
+        self.faults.arm(system)
+        end = system.sim.run(until=self.duration)
+        stats = metrics.finalize(end)
+        idle_time = audit = total = expected = None
+        if self.verify:
+            idle_time = system.drain(self.drain_grace)
+            audit = system.audit()
+            total = system.total_balance()
+            expected = system.expected_total_balance()
+        heights = {
+            cluster_id: view.height for cluster_id, view in system.views().items()
+        }
+        return ScenarioResult(
+            scenario=self,
+            system=system,
+            stats=stats,
+            end_time=end,
+            idle_time=idle_time,
+            audit=audit,
+            chain_heights=heights,
+            total_balance=total,
+            expected_balance=expected,
+        )
+
+
+def run_sweep(
+    scenario: Scenario,
+    client_counts: Sequence[int],
+    progress: Callable[[str], None] | None = None,
+) -> list[ScenarioResult]:
+    """Run ``scenario`` once per client count (a load sweep)."""
+    results = []
+    for clients in client_counts:
+        result = scenario.with_clients(clients).run()
+        results.append(result)
+        if progress is not None:
+            progress(
+                f"{scenario.label}: {clients} clients -> "
+                f"{result.throughput:.0f} tps @ {result.avg_latency_ms:.1f} ms"
+            )
+    return results

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import ClassVar
 
+from ..api.registry import register_system
 from ..common.config import ClusterConfig, SystemConfig
 from ..common.types import ClientId, ClusterId, FaultModel, NodeId
 from ..consensus.log import OrderingLog, item_digest
@@ -319,6 +320,7 @@ class ReferenceCommitteeReplica(Process):
 # ----------------------------------------------------------------------
 # the full AHL system
 # ----------------------------------------------------------------------
+@register_system("ahl")
 class AHLSystem(BaseSystem):
     """AHL-C / AHL-B: SharPer's clusters plus a reference committee."""
 

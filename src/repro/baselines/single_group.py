@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..api.registry import register_system
 from ..common.config import ClusterConfig, SystemConfig
 from ..common.errors import ConfigurationError
 from ..common.types import ClusterId, FaultModel, NodeId
@@ -398,6 +399,7 @@ class _SingleGroupSystem(BaseSystem):
         return self.replicas[int(self.active_cluster.primary)]
 
 
+@register_system("apr")
 class ActivePassiveSystem(_SingleGroupSystem):
     """APR-C / APR-B: consensus among the minimal active group, rest passive."""
 
@@ -414,6 +416,7 @@ class ActivePassiveSystem(_SingleGroupSystem):
         return PBFTEngine
 
 
+@register_system("fast")
 class FastConsensusSystem(_SingleGroupSystem):
     """FPaxos / FaB: extra replicas buy one fewer communication phase."""
 

@@ -11,7 +11,6 @@ from .experiments import (
     run_figure,
 )
 from .harness import (
-    SYSTEM_REGISTRY,
     Curve,
     CurvePoint,
     ExperimentSpec,
@@ -30,7 +29,6 @@ __all__ = [
     "FigureResult",
     "FigureSpec",
     "QUICK_CLIENTS",
-    "SYSTEM_REGISTRY",
     "SeriesSpec",
     "figure_to_csv",
     "format_figure",

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any figure of the paper.
+"""Command-line entry point: regenerate figures or run one-off scenarios.
 
 Examples
 --------
@@ -10,9 +10,16 @@ Run a fuller sweep and save the raw points::
 
     sharper-bench fig6d --full --csv fig6d.csv
 
-List every reproducible figure::
+List every reproducible figure and every registered system::
 
     sharper-bench --list
+    sharper-bench --list-systems
+
+Run a declarative scenario — any registered system, any workload mix,
+optionally crashing a primary mid-run::
+
+    sharper-bench --scenario sharper --cross-shard 0.2 --clients 32
+    sharper-bench --scenario ahl --byzantine --crash-primary-at 0.1
 """
 
 from __future__ import annotations
@@ -20,6 +27,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..api import DeploymentSpec, FaultSchedule, Scenario, available_systems
+from ..common.errors import SharPerError
+from ..common.types import FaultModel
+from ..txn.workload import WorkloadConfig
 from .experiments import FULL_CLIENTS, QUICK_CLIENTS, list_figures, run_figure
 from .reporting import format_figure, write_csv
 
@@ -33,6 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig6a fig7d fig8a")
     parser.add_argument("--list", action="store_true", help="list available figures and exit")
+    parser.add_argument(
+        "--list-systems", action="store_true", help="list registered systems and exit"
+    )
     parser.add_argument("--full", action="store_true", help="use the full client sweep")
     parser.add_argument(
         "--duration", type=float, default=0.30, help="simulated seconds per point"
@@ -42,13 +56,81 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", type=str, default=None, help="write raw points to this CSV file")
     parser.add_argument("--quiet", action="store_true", help="suppress per-point progress output")
+
+    scenario = parser.add_argument_group("scenario mode (repro.api.Scenario)")
+    scenario.add_argument(
+        "--scenario", metavar="SYSTEM", default=None,
+        help="run one declarative scenario against a registered system",
+    )
+    scenario.add_argument(
+        "--byzantine", action="store_true",
+        help="scenario: use the Byzantine fault model (default: crash-only)",
+    )
+    scenario.add_argument(
+        "--clusters", type=int, default=4, help="scenario: number of clusters"
+    )
+    scenario.add_argument(
+        "--cross-shard", type=float, default=0.0,
+        help="scenario: fraction of cross-shard transactions",
+    )
+    scenario.add_argument(
+        "--clients", type=int, default=32, help="scenario: closed-loop client count"
+    )
+    scenario.add_argument("--seed", type=int, default=1, help="scenario: simulation seed")
+    scenario.add_argument(
+        "--crash-primary-at", type=float, default=None, metavar="T",
+        help="scenario: crash a cluster primary at simulated time T",
+    )
+    scenario.add_argument(
+        "--crash-cluster", type=int, default=0, metavar="C",
+        help="scenario: which cluster's primary to crash (default 0)",
+    )
     return parser
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    faults = FaultSchedule()
+    if args.crash_primary_at is not None:
+        faults.crash_primary(at=args.crash_primary_at, cluster=args.crash_cluster)
+    fault_model = FaultModel.BYZANTINE if args.byzantine else FaultModel.CRASH
+    if faults and not args.quiet:
+        for event in faults:
+            print(f"  scheduled: {event.describe()}", file=sys.stderr)
+    try:
+        scenario = Scenario(
+            deployment=DeploymentSpec(
+                system=args.scenario,
+                fault_model=fault_model,
+                num_clusters=args.clusters,
+            ),
+            workload=WorkloadConfig(cross_shard_fraction=args.cross_shard),
+            clients=args.clients,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+            faults=faults,
+        )
+        result = scenario.run()
+    except SharPerError as error:
+        print(f"sharper-bench: error: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.list_systems:
+        print("registered systems:")
+        for name, system_cls in available_systems().items():
+            print(f"  {name:10s} {system_cls.__module__}.{system_cls.__qualname__}")
+        return 0
+    if args.scenario:
+        if args.figures or args.csv or args.full:
+            parser.error("--scenario cannot be combined with figure ids, --csv, or --full")
+        return _run_scenario(args)
     if args.list or not args.figures:
         print("available figures:")
         for figure_id in list_figures():

@@ -14,6 +14,10 @@ plots:
   percentages.  Systems: SharPer, AHL-B, APR-B, FaB.
 * **Figure 8** — SharPer only, 90% intra / 10% cross-shard, scaling the
   number of clusters from 2 to 5: (a) crash-only, (b) Byzantine.
+
+Execution flows through :class:`repro.api.Scenario` (each series'
+:class:`ExperimentSpec` converts via ``to_scenario``), so the systems a
+figure names are resolved by the pluggable registry.
 """
 
 from __future__ import annotations

@@ -6,23 +6,27 @@ throughput (x axis) and average latency (y axis) measured during steady
 state.  :func:`run_point` measures one client count; :func:`run_curve`
 sweeps a list of client counts and returns the resulting curve, from
 which :func:`peak_throughput` extracts the "just below saturation" point.
+
+Both are thin wrappers over :class:`repro.api.Scenario`: an
+:class:`ExperimentSpec` is the flat, sweep-friendly form of a scenario
+(:meth:`ExperimentSpec.to_scenario` converts), and systems are resolved
+through the pluggable registry (:func:`repro.api.register_system`), so
+any registered system — including third-party ones — can be swept.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, Type
+from typing import Callable, Sequence
 
-from ..common.config import PerformanceModel, ProtocolTuning, SystemConfig
-from ..common.metrics import MetricsCollector, RunStats
+from ..api import DeploymentSpec, FaultSchedule, Scenario, run_sweep
+from ..common.config import PerformanceModel, ProtocolTuning
+from ..common.metrics import RunStats
 from ..common.types import FaultModel
-from ..core.system import BaseSystem, SharPerSystem
-from ..baselines.ahl import AHLSystem
-from ..baselines.single_group import ActivePassiveSystem, FastConsensusSystem
+from ..core.system import BaseSystem
 from ..txn.workload import WorkloadConfig
 
 __all__ = [
-    "SYSTEM_REGISTRY",
     "ExperimentSpec",
     "CurvePoint",
     "Curve",
@@ -30,14 +34,6 @@ __all__ = [
     "run_curve",
     "peak_throughput",
 ]
-
-#: registry of evaluated systems, keyed by the short names used in reports.
-SYSTEM_REGISTRY: dict[str, Type[BaseSystem]] = {
-    "sharper": SharPerSystem,
-    "ahl": AHLSystem,
-    "apr": ActivePassiveSystem,
-    "fast": FastConsensusSystem,
-}
 
 
 @dataclass(frozen=True)
@@ -58,21 +54,21 @@ class ExperimentSpec:
     performance: PerformanceModel = field(default_factory=PerformanceModel)
     tuning: ProtocolTuning = field(default_factory=ProtocolTuning)
 
-    def build_system(self) -> BaseSystem:
-        """Instantiate the system under test."""
-        try:
-            system_cls = SYSTEM_REGISTRY[self.system]
-        except KeyError:
-            raise KeyError(
-                f"unknown system {self.system!r}; choose from {sorted(SYSTEM_REGISTRY)}"
-            ) from None
-        config = SystemConfig.build(
-            num_clusters=self.num_clusters,
+    def to_scenario(
+        self,
+        clients: int,
+        verify: bool = False,
+        faults: FaultSchedule | None = None,
+        name: str = "",
+    ) -> Scenario:
+        """The :class:`~repro.api.Scenario` equivalent of this spec."""
+        deployment = DeploymentSpec(
+            system=self.system,
             fault_model=self.fault_model,
+            num_clusters=self.num_clusters,
             f=self.f,
             performance=self.performance,
             tuning=self.tuning,
-            seed=self.seed,
         )
         workload = WorkloadConfig(
             cross_shard_fraction=self.cross_shard_fraction,
@@ -80,7 +76,21 @@ class ExperimentSpec:
             accounts_per_shard=self.accounts_per_shard,
             num_clients=self.num_app_clients,
         )
-        return system_cls(config, workload, seed=self.seed)
+        return Scenario(
+            deployment=deployment,
+            workload=workload,
+            name=name,
+            clients=clients,
+            duration=self.duration,
+            warmup=self.warmup,
+            seed=self.seed,
+            faults=faults or FaultSchedule(),
+            verify=verify,
+        )
+
+    def build_system(self) -> BaseSystem:
+        """Instantiate the system under test."""
+        return self.to_scenario(clients=0).build_system()
 
 
 @dataclass(frozen=True)
@@ -133,17 +143,10 @@ def run_point(
     check_consistency: bool = False,
 ) -> RunStats:
     """Run one system at one offered load and return its steady-state stats."""
-    system = spec.build_system()
-    metrics = MetricsCollector(warmup=spec.warmup, measure_until=spec.duration)
-    group = system.spawn_clients(clients, metrics)
-    system.start_clients(group)
-    end = system.sim.run(until=spec.duration)
-    stats = metrics.finalize(end)
+    result = spec.to_scenario(clients, verify=check_consistency).run()
     if check_consistency:
-        system.drain()
-        report = system.audit()
-        report.raise_if_failed()
-    return stats
+        result.raise_if_failed()
+    return result.stats
 
 
 def run_curve(
@@ -153,16 +156,13 @@ def run_curve(
     progress: Callable[[str], None] | None = None,
 ) -> Curve:
     """Sweep offered load and return the throughput/latency curve."""
-    points = []
-    for clients in client_counts:
-        stats = run_point(spec, clients)
-        points.append(CurvePoint(clients=clients, stats=stats))
-        if progress is not None:
-            progress(
-                f"{label or spec.system}: {clients} clients -> "
-                f"{stats.throughput:.0f} tps @ {stats.avg_latency * 1e3:.1f} ms"
-            )
-    return Curve(system=spec.system, label=label or spec.system, points=tuple(points))
+    scenario = spec.to_scenario(clients=0, name=label or spec.system)
+    results = run_sweep(scenario, client_counts, progress=progress)
+    points = tuple(
+        CurvePoint(clients=clients, stats=result.stats)
+        for clients, result in zip(client_counts, results)
+    )
+    return Curve(system=spec.system, label=label or spec.system, points=points)
 
 
 def peak_throughput(curve: Curve) -> float:

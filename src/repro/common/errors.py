@@ -17,6 +17,21 @@ class ConfigurationError(SharPerError):
     """An invalid system, cluster, or workload configuration was supplied."""
 
 
+class RegistrationError(ConfigurationError):
+    """A system registration conflicts with an existing registry entry."""
+
+
+class UnknownSystemError(SharPerError, KeyError):
+    """A scenario or experiment named a system that is not registered.
+
+    Subclasses :class:`KeyError` because the registry is a mapping and
+    historical callers catch ``KeyError`` on lookup failures.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message; undo that.
+        return Exception.__str__(self)
+
+
 class LedgerError(SharPerError):
     """Base class for ledger/DAG consistency problems."""
 

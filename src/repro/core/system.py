@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping
 
+from ..api.registry import register_system
 from ..common.config import SystemConfig
 from ..common.errors import ConfigurationError
 from ..common.metrics import MetricsCollector
@@ -167,6 +168,27 @@ class BaseSystem:
         return self.sim.run(until=self.sim.now + grace)
 
     # ------------------------------------------------------------------
+    # fault injection (used directly and by repro.api.FaultSchedule)
+    # ------------------------------------------------------------------
+    def _process_by_pid(self, node_id: int) -> Process:
+        for process in self.processes():
+            if int(process.pid) == int(node_id):
+                return process
+        raise ConfigurationError(f"no replica process with id {node_id}")
+
+    def crash_node(self, node_id: int) -> None:
+        """Crash a replica."""
+        self._process_by_pid(node_id).crash()
+
+    def recover_node(self, node_id: int) -> None:
+        """Restart a crashed replica (state retained, as in Section 2.1)."""
+        self._process_by_pid(node_id).recover()
+
+    def crash_primary(self, cluster_id: ClusterId) -> None:
+        """Crash the (initial) primary of a cluster."""
+        self.crash_node(int(self.config.cluster(cluster_id).primary))
+
+    # ------------------------------------------------------------------
     # correctness checks
     # ------------------------------------------------------------------
     def audit(self) -> AuditReport:
@@ -186,6 +208,7 @@ class BaseSystem:
         )
 
 
+@register_system("sharper")
 class SharPerSystem(BaseSystem):
     """The paper's system: sharded clusters + flattened cross-shard consensus."""
 
@@ -261,18 +284,26 @@ class SharPerSystem(BaseSystem):
         """The initial primary replica of a cluster."""
         return self.replicas[int(self.config.cluster(cluster_id).primary)]
 
+    def representative_of(self, cluster_id: ClusterId) -> SharPerReplica:
+        """The replica whose chain and store the audits report for a cluster.
+
+        Non-crashed replicas are preferred; ties break toward the longest
+        chain.  :meth:`views` and :meth:`stores` both use this rule so a
+        post-crash audit compares a chain and store from the same replica.
+        """
+        candidates = [
+            replica
+            for replica in self.replicas_of(cluster_id)
+            if not replica.crashed
+        ] or self.replicas_of(cluster_id)
+        return max(candidates, key=lambda replica: replica.chain.height)
+
     def views(self) -> dict[ClusterId, ClusterView]:
         """Longest ledger view per cluster (non-crashed replicas preferred)."""
-        result: dict[ClusterId, ClusterView] = {}
-        for cluster in self.config.clusters:
-            candidates = [
-                replica
-                for replica in self.replicas_of(cluster.cluster_id)
-                if not replica.crashed
-            ] or self.replicas_of(cluster.cluster_id)
-            best = max(candidates, key=lambda replica: replica.chain.height)
-            result[cluster.cluster_id] = best.chain
-        return result
+        return {
+            cluster.cluster_id: self.representative_of(cluster.cluster_id).chain
+            for cluster in self.config.clusters
+        }
 
     def all_views(self) -> dict[ClusterId, list[ClusterView]]:
         """Every replica's view, grouped by cluster (for agreement checks)."""
@@ -284,28 +315,11 @@ class SharPerSystem(BaseSystem):
         }
 
     def stores(self) -> list[AccountStore]:
-        views = self.views()
-        stores = []
-        for cluster in self.config.clusters:
-            # Use the store of the replica whose chain we reported.
-            representative = max(
-                self.replicas_of(cluster.cluster_id),
-                key=lambda replica: replica.chain.height,
-            )
-            stores.append(representative.store)
-        return stores
+        return [
+            self.representative_of(cluster.cluster_id).store
+            for cluster in self.config.clusters
+        ]
 
     def committed_per_cluster(self) -> dict[ClusterId, int]:
         """Committed block count per cluster (from the representative views)."""
         return {cluster_id: view.height for cluster_id, view in self.views().items()}
-
-    # ------------------------------------------------------------------
-    # fault injection helpers
-    # ------------------------------------------------------------------
-    def crash_node(self, node_id: int) -> None:
-        """Crash a replica."""
-        self.replicas[node_id].crash()
-
-    def crash_primary(self, cluster_id: ClusterId) -> None:
-        """Crash the (initial) primary of a cluster."""
-        self.crash_node(int(self.config.cluster(cluster_id).primary))

@@ -1,39 +1,42 @@
-"""Integration tests for the baseline systems (APR, FPaxos, FaB, AHL)."""
+"""Integration tests for the baseline systems (APR, FPaxos, FaB, AHL).
+
+Every run goes through the declarative :class:`repro.api.Scenario`
+surface with the baselines resolved by registry name, mirroring how the
+benchmark harness drives them.
+"""
 
 import pytest
 
-from repro.baselines import ActivePassiveSystem, AHLSystem, FastConsensusSystem
-from repro.common.config import SystemConfig
-from repro.common.metrics import MetricsCollector
+from repro.api import DeploymentSpec, Scenario
 from repro.common.types import FaultModel
-from repro.core import SharPerSystem
 from repro.txn.workload import WorkloadConfig
 
 
-def run(system_cls, fault_model, cross_fraction, clients=12, duration=0.15, seed=5):
-    config = SystemConfig.build(4, fault_model, seed=seed)
-    workload = WorkloadConfig(
-        cross_shard_fraction=cross_fraction, accounts_per_shard=64, num_clients=16
+def run(system_name, fault_model, cross_fraction, clients=12, duration=0.15, seed=5):
+    scenario = Scenario(
+        deployment=DeploymentSpec(system=system_name, fault_model=fault_model),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_fraction, accounts_per_shard=64, num_clients=16
+        ),
+        clients=clients,
+        duration=duration,
+        warmup=0.02,
+        seed=seed,
     )
-    system = system_cls(config, workload, seed=seed)
-    metrics = MetricsCollector(warmup=0.02, measure_until=duration)
-    group = system.spawn_clients(clients, metrics)
-    system.start_clients(group)
-    end = system.sim.run(until=duration)
-    system.drain()
-    return system, metrics.finalize(end)
+    result = scenario.run()
+    return result.system, result.stats
 
 
 class TestActivePassive:
     @pytest.mark.parametrize("fault_model", [FaultModel.CRASH, FaultModel.BYZANTINE])
     def test_commits_and_stays_consistent(self, fault_model):
-        system, stats = run(ActivePassiveSystem, fault_model, cross_fraction=0.5)
+        system, stats = run("apr", fault_model, cross_fraction=0.5)
         assert stats.committed > 50
         assert system.audit().ok
         assert system.total_balance() == system.expected_total_balance()
 
     def test_passive_replicas_follow_the_actives(self):
-        system, stats = run(ActivePassiveSystem, FaultModel.CRASH, cross_fraction=0.0)
+        system, stats = run("apr", FaultModel.CRASH, cross_fraction=0.0)
         primary_height = system.primary().chain.height
         assert primary_height > 0
         for passive in system.passives.values():
@@ -41,8 +44,8 @@ class TestActivePassive:
             assert passive.applied >= primary_height * 0.9
 
     def test_active_group_sizes_match_paper(self):
-        crash, _ = run(ActivePassiveSystem, FaultModel.CRASH, 0.0, clients=2, duration=0.02)
-        byz, _ = run(ActivePassiveSystem, FaultModel.BYZANTINE, 0.0, clients=2, duration=0.02)
+        crash, _ = run("apr", FaultModel.CRASH, 0.0, clients=2, duration=0.02)
+        byz, _ = run("apr", FaultModel.BYZANTINE, 0.0, clients=2, duration=0.02)
         assert crash.active_cluster.size == 3 and len(crash.passives) == 9
         assert byz.active_cluster.size == 4 and len(byz.passives) == 12
 
@@ -50,43 +53,43 @@ class TestActivePassive:
 class TestFastConsensus:
     @pytest.mark.parametrize("fault_model", [FaultModel.CRASH, FaultModel.BYZANTINE])
     def test_commits_and_stays_consistent(self, fault_model):
-        system, stats = run(FastConsensusSystem, fault_model, cross_fraction=0.5)
+        system, stats = run("fast", fault_model, cross_fraction=0.5)
         assert stats.committed > 50
         assert system.audit().ok
         assert system.total_balance() == system.expected_total_balance()
 
     def test_group_sizes_match_paper(self):
-        crash, _ = run(FastConsensusSystem, FaultModel.CRASH, 0.0, clients=2, duration=0.02)
-        byz, _ = run(FastConsensusSystem, FaultModel.BYZANTINE, 0.0, clients=2, duration=0.02)
+        crash, _ = run("fast", FaultModel.CRASH, 0.0, clients=2, duration=0.02)
+        byz, _ = run("fast", FaultModel.BYZANTINE, 0.0, clients=2, duration=0.02)
         assert crash.active_cluster.size == 4 and len(crash.passives) == 8
         assert byz.active_cluster.size == 6 and len(byz.passives) == 10
 
     def test_fast_path_has_lower_latency_than_apr(self):
-        _, fast = run(FastConsensusSystem, FaultModel.CRASH, 0.0, clients=8)
-        _, apr = run(ActivePassiveSystem, FaultModel.CRASH, 0.0, clients=8)
+        _, fast = run("fast", FaultModel.CRASH, 0.0, clients=8)
+        _, apr = run("apr", FaultModel.CRASH, 0.0, clients=8)
         assert fast.avg_latency <= apr.avg_latency * 1.05
 
 
 class TestAHL:
     @pytest.mark.parametrize("fault_model", [FaultModel.CRASH, FaultModel.BYZANTINE])
     def test_commits_and_stays_consistent(self, fault_model):
-        system, stats = run(AHLSystem, fault_model, cross_fraction=0.3)
+        system, stats = run("ahl", fault_model, cross_fraction=0.3)
         assert stats.committed > 50
         assert stats.committed_cross > 0
         assert system.audit().ok
         assert system.total_balance() == system.expected_total_balance()
 
     def test_reference_committee_coordinates_cross_shard_txs(self):
-        system, stats = run(AHLSystem, FaultModel.CRASH, cross_fraction=1.0)
+        system, stats = run("ahl", FaultModel.CRASH, cross_fraction=1.0)
         assert system.reference_committee_primary().coordinated > 0
         assert stats.committed_cross == stats.committed
 
     def test_cross_shard_latency_higher_than_sharper(self):
-        _, ahl = run(AHLSystem, FaultModel.CRASH, cross_fraction=1.0, clients=8)
-        _, sharper = run(SharPerSystem, FaultModel.CRASH, cross_fraction=1.0, clients=8)
+        _, ahl = run("ahl", FaultModel.CRASH, cross_fraction=1.0, clients=8)
+        _, sharper = run("sharper", FaultModel.CRASH, cross_fraction=1.0, clients=8)
         assert ahl.avg_latency_cross > sharper.avg_latency_cross
 
     def test_intra_shard_path_matches_sharper(self):
-        _, ahl = run(AHLSystem, FaultModel.CRASH, cross_fraction=0.0, clients=16)
-        _, sharper = run(SharPerSystem, FaultModel.CRASH, cross_fraction=0.0, clients=16)
+        _, ahl = run("ahl", FaultModel.CRASH, cross_fraction=0.0, clients=16)
+        _, sharper = run("sharper", FaultModel.CRASH, cross_fraction=0.0, clients=16)
         assert ahl.throughput == pytest.approx(sharper.throughput, rel=0.2)

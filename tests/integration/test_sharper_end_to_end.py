@@ -1,51 +1,67 @@
 """End-to-end integration tests for the SharPer system (crash and Byzantine).
 
-Each test builds a full deployment in the simulator, drives it with
-closed-loop clients, lets it drain, and then checks the paper's safety
-properties: per-cluster total order, presence and consistency of
-cross-shard blocks in every involved cluster, agreement among the
-replicas of one cluster, and conservation of the total balance.
+Each test declares a :class:`repro.api.Scenario`, runs it, and checks the
+paper's safety properties on the result: per-cluster total order,
+presence and consistency of cross-shard blocks in every involved
+cluster, agreement among the replicas of one cluster, and conservation
+of the total balance.
 """
 
 import pytest
 
-from repro.common.metrics import MetricsCollector
+from repro.api import DeploymentSpec, FaultSchedule, Scenario
+from repro.common.config import ProtocolTuning
 from repro.common.types import FaultModel
-from repro.core import SharPerSystem
-from repro.common.config import SystemConfig
 from repro.txn.workload import WorkloadConfig
 
 
-def run_system(fault_model, cross_fraction, clients=12, duration=0.15, num_clusters=4, seed=5):
-    config = SystemConfig.build(num_clusters, fault_model, seed=seed)
-    workload = WorkloadConfig(
-        cross_shard_fraction=cross_fraction, accounts_per_shard=64, num_clients=16
+def make_scenario(
+    fault_model,
+    cross_fraction,
+    clients=12,
+    duration=0.15,
+    num_clusters=4,
+    seed=5,
+    **overrides,
+):
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper", fault_model=fault_model, num_clusters=num_clusters
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_fraction, accounts_per_shard=64, num_clients=16
+        ),
+        clients=clients,
+        duration=duration,
+        warmup=0.02,
+        seed=seed,
+        **overrides,
     )
-    system = SharPerSystem(config, workload, seed=seed)
-    metrics = MetricsCollector(warmup=0.02, measure_until=duration)
-    group = system.spawn_clients(clients, metrics)
-    system.start_clients(group)
-    end = system.sim.run(until=duration)
-    system.drain()
-    return system, metrics.finalize(end)
+
+
+def run_system(fault_model, cross_fraction, clients=12, duration=0.15, num_clusters=4, seed=5):
+    result = make_scenario(
+        fault_model, cross_fraction, clients=clients, duration=duration,
+        num_clusters=num_clusters, seed=seed,
+    ).run()
+    return result.system, result.stats
 
 
 class TestCrashDeployment:
     def test_intra_shard_only(self):
-        system, stats = run_system(FaultModel.CRASH, cross_fraction=0.0)
-        assert stats.committed > 100
-        report = system.audit()
-        assert report.ok, report.problems
-        assert report.cross_shard_blocks == 0
-        assert system.total_balance() == system.expected_total_balance()
+        result = make_scenario(FaultModel.CRASH, cross_fraction=0.0).run()
+        assert result.stats.committed > 100
+        assert result.audit.ok, result.audit.problems
+        assert result.audit.cross_shard_blocks == 0
+        assert result.balance_conserved
+        assert result.ok
 
     def test_mixed_workload(self):
-        system, stats = run_system(FaultModel.CRASH, cross_fraction=0.3)
-        assert stats.committed_cross > 10
-        report = system.audit()
-        assert report.ok, report.problems
-        assert report.cross_shard_blocks > 0
-        assert system.total_balance() == system.expected_total_balance()
+        result = make_scenario(FaultModel.CRASH, cross_fraction=0.3).run()
+        assert result.stats.committed_cross > 10
+        assert result.audit.ok, result.audit.problems
+        assert result.audit.cross_shard_blocks > 0
+        assert result.balance_conserved
 
     def test_all_replicas_of_a_cluster_agree(self):
         system, _ = run_system(FaultModel.CRASH, cross_fraction=0.2)
@@ -72,6 +88,13 @@ class TestCrashDeployment:
         assert completed >= stats.committed
         assert all(client.failed == 0 for client in system.clients)
 
+    def test_chain_heights_reported_per_cluster(self):
+        result = make_scenario(FaultModel.CRASH, cross_fraction=0.2).run()
+        assert set(result.chain_heights) == {
+            cluster.cluster_id for cluster in result.system.config.clusters
+        }
+        assert all(height > 0 for height in result.chain_heights.values())
+
     def test_throughput_scales_with_clusters(self):
         # Enough clients to saturate the smaller deployment, so the extra
         # clusters show up as extra throughput (Figure 8 in miniature).
@@ -82,18 +105,16 @@ class TestCrashDeployment:
 
 class TestByzantineDeployment:
     def test_intra_shard_only(self):
-        system, stats = run_system(FaultModel.BYZANTINE, cross_fraction=0.0)
-        assert stats.committed > 50
-        report = system.audit()
-        assert report.ok, report.problems
-        assert system.total_balance() == system.expected_total_balance()
+        result = make_scenario(FaultModel.BYZANTINE, cross_fraction=0.0).run()
+        assert result.stats.committed > 50
+        assert result.audit.ok, result.audit.problems
+        assert result.balance_conserved
 
     def test_mixed_workload(self):
-        system, stats = run_system(FaultModel.BYZANTINE, cross_fraction=0.3)
-        assert stats.committed_cross > 5
-        report = system.audit()
-        assert report.ok, report.problems
-        assert system.total_balance() == system.expected_total_balance()
+        result = make_scenario(FaultModel.BYZANTINE, cross_fraction=0.3).run()
+        assert result.stats.committed_cross > 5
+        assert result.audit.ok, result.audit.problems
+        assert result.balance_conserved
 
     def test_clients_need_f_plus_one_matching_replies(self):
         system, _ = run_system(FaultModel.BYZANTINE, cross_fraction=0.0, clients=4)
@@ -107,15 +128,30 @@ class TestByzantineDeployment:
 
 class TestFaultTolerance:
     def test_backup_crash_does_not_stop_progress_crash_model(self):
-        config = SystemConfig.build(2, FaultModel.CRASH, seed=9)
-        workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=32, num_clients=8)
-        system = SharPerSystem(config, workload, seed=9)
+        # The backup crash is declared up front; the run needs to be
+        # interleaved to compare heights, so drive the system manually
+        # after building it from the scenario.
+        scenario = Scenario(
+            deployment=DeploymentSpec(system="sharper", fault_model=FaultModel.CRASH,
+                                      num_clusters=2),
+            workload=WorkloadConfig(
+                cross_shard_fraction=0.0, accounts_per_shard=32, num_clients=8
+            ),
+            clients=6,
+            seed=9,
+        )
+        system = scenario.build_system()
+        from repro.common.metrics import MetricsCollector
+
         metrics = MetricsCollector()
-        clients = system.spawn_clients(6, metrics)
+        clients = system.spawn_clients(scenario.clients, metrics)
         system.start_clients(clients)
+        # Crash one backup of cluster 0 at t=50ms (f = 1 tolerated).
+        config = system.config
+        FaultSchedule().crash_node(
+            at=0.05, node_id=int(config.clusters[0].node_ids[-1])
+        ).arm(system)
         system.sim.run(until=0.05)
-        # Crash one backup of cluster 0 (f = 1 tolerated).
-        system.crash_node(int(config.clusters[0].node_ids[-1]))
         before = sum(view.height for view in system.views().values())
         system.sim.run(until=0.15)
         after = sum(view.height for view in system.views().values())
@@ -124,22 +160,29 @@ class TestFaultTolerance:
         assert system.audit().ok
 
     def test_primary_crash_triggers_view_change(self):
-        from repro.common.config import ProtocolTuning
-
-        tuning = ProtocolTuning(view_change_timeout=0.05)
-        config = SystemConfig.build(2, FaultModel.CRASH, tuning=tuning, seed=11)
-        workload = WorkloadConfig(cross_shard_fraction=0.0, accounts_per_shard=32, num_clients=8)
-        system = SharPerSystem(config, workload, seed=11)
-        metrics = MetricsCollector()
-        clients = system.spawn_clients(4, metrics, retry_timeout=0.1)
-        system.start_clients(clients)
-        system.sim.run(until=0.05)
-        system.crash_primary(config.clusters[0].cluster_id)
-        system.sim.run(until=0.8)
+        scenario = Scenario(
+            deployment=DeploymentSpec(
+                system="sharper", fault_model=FaultModel.CRASH, num_clusters=2,
+                tuning=ProtocolTuning(view_change_timeout=0.05),
+            ),
+            workload=WorkloadConfig(
+                cross_shard_fraction=0.0, accounts_per_shard=32, num_clients=8
+            ),
+            clients=4,
+            duration=0.8,
+            warmup=0.0,
+            retry_timeout=0.1,
+            seed=11,
+            faults=FaultSchedule().crash_primary(at=0.05, cluster=0),
+            verify=False,
+        )
+        result = scenario.run()
+        system = result.system
+        cluster_id = system.config.clusters[0].cluster_id
         # A non-crashed replica of cluster 0 took over as primary.
         survivors = [
             replica
-            for replica in system.replicas_of(config.clusters[0].cluster_id)
+            for replica in system.replicas_of(cluster_id)
             if not replica.crashed
         ]
         assert any(replica.intra.view > 0 for replica in survivors)
