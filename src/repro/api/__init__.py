@@ -29,7 +29,7 @@ from .faults import (
 )
 from .registry import available_systems, get_system, register_system, unregister_system
 from .result import ScenarioResult
-from .scenario import DeploymentSpec, Scenario, run_sweep
+from .scenario import DeploymentSpec, Scenario, run_scenarios, run_sweep
 
 __all__ = [
     "CrashNode",
@@ -45,6 +45,7 @@ __all__ = [
     "available_systems",
     "get_system",
     "register_system",
+    "run_scenarios",
     "run_sweep",
     "unregister_system",
 ]

@@ -9,6 +9,7 @@ callers that want to inspect replicas directly.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -30,8 +31,12 @@ class ScenarioResult:
 
     #: the scenario that was run.
     scenario: "Scenario"
-    #: the live system object (replicas, network, simulator still inspectable).
-    system: "BaseSystem"
+    #: the live system object (replicas, network, simulator still
+    #: inspectable).  ``None`` for detached results — e.g. those returned
+    #: from a ``jobs > 1`` worker pool, where the live object graph
+    #: (pending events, bound-method callbacks) cannot cross the process
+    #: boundary.
+    system: "BaseSystem | None"
     #: steady-state performance statistics.
     stats: RunStats
     #: simulated time at which measurement stopped.
@@ -45,6 +50,20 @@ class ScenarioResult:
     #: observed and expected total balance (None when verification skipped).
     total_balance: int | None = None
     expected_balance: int | None = None
+
+    # ------------------------------------------------------------------
+    # detachment (multiprocessing support)
+    # ------------------------------------------------------------------
+    def detach(self) -> "ScenarioResult":
+        """A picklable copy of this result without the live system.
+
+        Everything reported — stats, chain heights, audit, balances — is
+        retained; only the ``system`` handle is dropped.  Worker processes
+        of the parallel bench runner return detached results.
+        """
+        if self.system is None:
+            return self
+        return dataclasses.replace(self, system=None)
 
     # ------------------------------------------------------------------
     # verdicts

@@ -27,6 +27,7 @@ ablations) are cheap ``dataclasses.replace`` copies — see
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -42,7 +43,7 @@ from .result import ScenarioResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.system import BaseSystem
 
-__all__ = ["DeploymentSpec", "Scenario", "run_sweep"]
+__all__ = ["DeploymentSpec", "Scenario", "run_scenarios", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -181,19 +182,65 @@ class Scenario:
         )
 
 
+def _run_detached(scenario: Scenario) -> ScenarioResult:
+    """Worker entry point: run a scenario, return a picklable result."""
+    return scenario.run().detach()
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[ScenarioResult]:
+    """Run several independent scenarios, optionally in a process pool.
+
+    Scenarios are deterministic and self-contained, so with ``jobs > 1``
+    they are farmed out to a :mod:`multiprocessing` pool; results come
+    back in input order and are *detached* (``result.system is None``).
+    Per-seed results are bit-identical between serial and parallel
+    execution — workload generation, transaction ids, and every RNG draw
+    depend only on the scenario itself.  With ``jobs <= 1`` everything
+    runs in-process and results keep their live system.
+    """
+    if jobs <= 1 or len(scenarios) <= 1:
+        results = []
+        for scenario in scenarios:
+            result = scenario.run()
+            results.append(result)
+            if progress is not None:
+                progress(_progress_line(result))
+        return results
+    with multiprocessing.get_context().Pool(processes=min(jobs, len(scenarios))) as pool:
+        results = []
+        for result in pool.imap(_run_detached, scenarios):
+            results.append(result)
+            if progress is not None:
+                progress(_progress_line(result))
+    return results
+
+
+def _progress_line(result: ScenarioResult) -> str:
+    scenario = result.scenario
+    return (
+        f"{scenario.label}: {scenario.clients} clients -> "
+        f"{result.throughput:.0f} tps @ {result.avg_latency_ms:.1f} ms"
+    )
+
+
 def run_sweep(
     scenario: Scenario,
     client_counts: Sequence[int],
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> list[ScenarioResult]:
-    """Run ``scenario`` once per client count (a load sweep)."""
-    results = []
-    for clients in client_counts:
-        result = scenario.with_clients(clients).run()
-        results.append(result)
-        if progress is not None:
-            progress(
-                f"{scenario.label}: {clients} clients -> "
-                f"{result.throughput:.0f} tps @ {result.avg_latency_ms:.1f} ms"
-            )
-    return results
+    """Run ``scenario`` once per client count (a load sweep).
+
+    With ``jobs > 1`` the sweep points run in a process pool (see
+    :func:`run_scenarios`); results are returned in ``client_counts``
+    order either way.
+    """
+    return run_scenarios(
+        [scenario.with_clients(clients) for clients in client_counts],
+        jobs=jobs,
+        progress=progress,
+    )

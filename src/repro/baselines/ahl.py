@@ -125,21 +125,20 @@ class AHLReplica(SharPerReplica):
         super().__init__(*args, **kwargs)
         self.rc_primary_pid = rc_primary_pid
         self.prepared: set[str] = set()
+        self.register_handler(AHLPrepareRequest, self._on_prepare_request)
+        self.register_handler(AHLCommitRequest, self._on_commit_request)
 
     # Cross-shard client requests belong to the reference committee.
     def _handle_cross_request(self, request: ClientRequest, involved) -> None:
         self.send(self.rc_primary_pid, request)
 
-    def on_message(self, message: object, src: int) -> None:
-        if isinstance(message, AHLPrepareRequest):
-            if self.is_cluster_primary:
-                self.intra.submit(PrepareMarker(request=message.request))
-            return
-        if isinstance(message, AHLCommitRequest):
-            if self.is_cluster_primary and message.commit:
-                self.intra.submit(CommitMarker(request=message.request))
-            return
-        super().on_message(message, src)
+    def _on_prepare_request(self, message: AHLPrepareRequest, src: int) -> None:
+        if self.is_cluster_primary:
+            self.intra.submit(PrepareMarker(request=message.request))
+
+    def _on_commit_request(self, message: AHLCommitRequest, src: int) -> None:
+        if self.is_cluster_primary and message.commit:
+            self.intra.submit(CommitMarker(request=message.request))
 
     def on_marker_applied(self, entry, positions, parents, proposer) -> None:
         item = entry.item
@@ -221,6 +220,9 @@ class ReferenceCommitteeReplica(Process):
             self.intra = PBFTEngine(self)
         self._states: dict[str, _RC2PCState] = {}
         self.coordinated = 0
+        self.register_handler(ClientRequest, self._on_client_request)
+        self.register_handler(AHLVote, self._on_vote)
+        self.register_handlers(self.intra.handlers())
 
     # ------------------------------------------------------------------
     # ConsensusHost interface
@@ -240,17 +242,8 @@ class ReferenceCommitteeReplica(Process):
         self.send(int(node_id), message)
 
     # ------------------------------------------------------------------
-    # message handling
+    # message handling (table-driven; see Process.on_message)
     # ------------------------------------------------------------------
-    def on_message(self, message: object, src: int) -> None:
-        if isinstance(message, ClientRequest):
-            self._on_client_request(message, src)
-            return
-        if isinstance(message, AHLVote):
-            self._on_vote(message)
-            return
-        self.intra.handle(message, src)
-
     def _on_client_request(self, request: ClientRequest, src: int) -> None:
         if request.reply_to < 0:
             request = replace(request, reply_to=src)
@@ -265,7 +258,7 @@ class ReferenceCommitteeReplica(Process):
         # Step 1: the RC orders the prepare decision among its members.
         self.intra.submit(RCOrderMarker(request=request, phase="prepare"))
 
-    def _on_vote(self, message: AHLVote) -> None:
+    def _on_vote(self, message: AHLVote, src: int) -> None:
         state = self._states.get(message.digest)
         if state is None or not self.intra.is_primary:
             return

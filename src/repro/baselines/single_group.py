@@ -188,6 +188,8 @@ class SingleGroupReplica(Process):
         self.intra = engine_factory(self)
         self.committed_count = 0
         self.failed_executions = 0
+        self.register_handler(ClientRequest, self._on_client_request)
+        self.register_handlers(self.intra.handlers())
 
     # ------------------------------------------------------------------
     # ConsensusHost interface
@@ -207,14 +209,8 @@ class SingleGroupReplica(Process):
         self.send(int(node_id), message)
 
     # ------------------------------------------------------------------
-    # message handling
+    # message handling (table-driven; see Process.on_message)
     # ------------------------------------------------------------------
-    def on_message(self, message: object, src: int) -> None:
-        if isinstance(message, ClientRequest):
-            self._on_client_request(message, src)
-            return
-        self.intra.handle(message, src)
-
     def _on_client_request(self, request: ClientRequest, src: int) -> None:
         if request.reply_to < 0:
             request = replace(request, reply_to=src)
@@ -284,10 +280,9 @@ class PassiveReplica(Process):
         self.executor = TransactionExecutor(store, mapper, shard=0)
         self.chain = ClusterView(ClusterId(0))
         self.applied = 0
+        self.register_handler(PassiveUpdate, self._on_passive_update)
 
-    def on_message(self, message: object, src: int) -> None:
-        if not isinstance(message, PassiveUpdate):
-            return
+    def _on_passive_update(self, message: PassiveUpdate, src: int) -> None:
         item = message.item
         if not isinstance(item, ClientRequest):
             return

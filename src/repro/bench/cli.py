@@ -56,6 +56,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", type=str, default=None, help="write raw points to this CSV file")
     parser.add_argument("--quiet", action="store_true", help="suppress per-point progress output")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run sweep points/seeds in an N-process pool (results are "
+        "bit-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, metavar="K",
+        help="average every point over K seeds (seed, seed+1, ...)",
+    )
 
     scenario = parser.add_argument_group("scenario mode (repro.api.Scenario)")
     scenario.add_argument(
@@ -128,8 +137,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:10s} {system_cls.__module__}.{system_cls.__qualname__}")
         return 0
     if args.scenario:
-        if args.figures or args.csv or args.full:
-            parser.error("--scenario cannot be combined with figure ids, --csv, or --full")
+        if args.figures or args.csv or args.full or args.jobs != 1 or args.seeds != 1:
+            parser.error(
+                "--scenario cannot be combined with figure ids, --csv, --full, "
+                "--jobs, or --seeds"
+            )
         return _run_scenario(args)
     if args.list or not args.figures:
         print("available figures:")
@@ -138,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     progress = None if args.quiet else (lambda line: print(f"  {line}", file=sys.stderr))
     counts = FULL_CLIENTS if args.full else QUICK_CLIENTS
+    seeds = list(range(1, args.seeds + 1)) if args.seeds > 1 else None
     for figure_id in args.figures:
         result = run_figure(
             figure_id,
@@ -145,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
             duration=args.duration,
             warmup=args.warmup,
             progress=progress,
+            jobs=args.jobs,
+            seeds=seeds,
         )
         print(format_figure(result))
         print()

@@ -188,8 +188,15 @@ def run_figure(
     duration: float = 0.30,
     warmup: float = 0.06,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    seeds: Sequence[int] | None = None,
 ) -> FigureResult:
-    """Measure every series of one figure and return the curves."""
+    """Measure every series of one figure and return the curves.
+
+    ``jobs`` parallelises each series' ``point × seed`` grid over a
+    process pool; ``seeds`` averages every point over several seeds (see
+    :func:`repro.bench.harness.run_curve`).
+    """
     try:
         figure = FIGURES[figure_id]
     except KeyError:
@@ -198,6 +205,8 @@ def run_figure(
     result = FigureResult(figure=figure)
     for series in figure.series:
         spec = figure.spec_for(series, duration=duration, warmup=warmup)
-        curve = run_curve(spec, counts, label=series.label, progress=progress)
+        curve = run_curve(
+            spec, counts, label=series.label, progress=progress, jobs=jobs, seeds=seeds
+        )
         result.curves.append(curve)
     return result

@@ -12,14 +12,25 @@ Both are thin wrappers over :class:`repro.api.Scenario`: an
 (:meth:`ExperimentSpec.to_scenario` converts), and systems are resolved
 through the pluggable registry (:func:`repro.api.register_system`), so
 any registered system — including third-party ones — can be swept.
+
+Performance model & parallel execution
+--------------------------------------
+Scenarios are deterministic and self-contained, so :func:`run_curve`
+accepts ``jobs`` (run the ``point × seed`` grid in a
+``multiprocessing`` pool — per-seed results are bit-identical to serial
+execution) and ``seeds`` (repeat each point over several seeds and pool
+the statistics with :meth:`RunStats.aggregate`).  The CLI exposes both
+as ``--jobs N`` and ``--seeds K``; ``repro.bench.perfbench`` tracks the
+wall-clock cost of the fig8 sweep in ``BENCH_kernel.json``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..api import DeploymentSpec, FaultSchedule, Scenario, run_sweep
+from ..api import DeploymentSpec, FaultSchedule, Scenario, run_scenarios
 from ..common.config import PerformanceModel, ProtocolTuning
 from ..common.metrics import RunStats
 from ..common.types import FaultModel
@@ -154,15 +165,37 @@ def run_curve(
     client_counts: Sequence[int],
     label: str | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    seeds: Sequence[int] | None = None,
 ) -> Curve:
-    """Sweep offered load and return the throughput/latency curve."""
-    scenario = spec.to_scenario(clients=0, name=label or spec.system)
-    results = run_sweep(scenario, client_counts, progress=progress)
-    points = tuple(
-        CurvePoint(clients=clients, stats=result.stats)
-        for clients, result in zip(client_counts, results)
-    )
-    return Curve(system=spec.system, label=label or spec.system, points=points)
+    """Sweep offered load and return the throughput/latency curve.
+
+    ``seeds`` repeats every point once per seed and pools the per-seed
+    statistics with :meth:`RunStats.aggregate` (defaults to the spec's
+    single seed).  ``jobs`` runs the whole ``point × seed`` grid in a
+    ``multiprocessing`` pool; per-seed results are bit-identical to a
+    serial run, so parallelism never changes the curve.
+    """
+    seed_list = list(seeds) if seeds else [spec.seed]
+    scenarios = [
+        dataclasses.replace(spec, seed=seed).to_scenario(
+            clients, name=label or spec.system
+        )
+        for clients in client_counts
+        for seed in seed_list
+    ]
+    results = run_scenarios(scenarios, jobs=jobs, progress=progress)
+    points = []
+    per_point = len(seed_list)
+    for index, clients in enumerate(client_counts):
+        chunk = results[index * per_point : (index + 1) * per_point]
+        points.append(
+            CurvePoint(
+                clients=clients,
+                stats=RunStats.aggregate([result.stats for result in chunk]),
+            )
+        )
+    return Curve(system=spec.system, label=label or spec.system, points=tuple(points))
 
 
 def peak_throughput(curve: Curve) -> float:

@@ -13,12 +13,12 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 __all__ = ["LatencySample", "MetricsCollector", "RunStats", "summarize_latencies"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LatencySample:
     """One committed transaction: submission and commit timestamps."""
 
@@ -64,6 +64,55 @@ class RunStats:
             "avg_latency_cross_ms": self.avg_latency_cross * 1e3,
             "committed_cross": self.committed_cross,
         }
+
+    @staticmethod
+    def aggregate(runs: "Sequence[RunStats]") -> "RunStats":
+        """Pool several runs of the same configuration into one summary.
+
+        Used by the multi-seed bench runner: counts and durations are
+        summed (so the pooled ``throughput`` is total commits over total
+        measured time), and latencies are averaged weighted by each run's
+        committed count.
+        """
+        if not runs:
+            raise ValueError("cannot aggregate zero runs")
+        if len(runs) == 1:
+            return runs[0]
+        duration = sum(run.duration for run in runs)
+        committed = sum(run.committed for run in runs)
+        committed_cross = sum(run.committed_cross for run in runs)
+        committed_intra = committed - committed_cross
+
+        def weighted(metric, weights) -> float:
+            total = sum(weights)
+            if total == 0:
+                return 0.0
+            return sum(value * weight for value, weight in zip(metric, weights)) / total
+
+        by_committed = [run.committed for run in runs]
+        return RunStats(
+            duration=duration,
+            committed=committed,
+            aborted=sum(run.aborted for run in runs),
+            throughput=committed / duration if duration > 0 else 0.0,
+            avg_latency=weighted([run.avg_latency for run in runs], by_committed),
+            p50_latency=weighted([run.p50_latency for run in runs], by_committed),
+            p95_latency=weighted([run.p95_latency for run in runs], by_committed),
+            p99_latency=weighted([run.p99_latency for run in runs], by_committed),
+            avg_latency_intra=weighted(
+                [run.avg_latency_intra for run in runs],
+                [run.committed - run.committed_cross for run in runs],
+            )
+            if committed_intra
+            else 0.0,
+            avg_latency_cross=weighted(
+                [run.avg_latency_cross for run in runs],
+                [run.committed_cross for run in runs],
+            )
+            if committed_cross
+            else 0.0,
+            committed_cross=committed_cross,
+        )
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:

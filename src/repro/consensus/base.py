@@ -12,14 +12,14 @@ SharPer is pluggable", Section 3.1).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Hashable, Protocol, runtime_checkable
+from typing import Any, Callable, ClassVar, Hashable, Mapping, Protocol, runtime_checkable
 
 from ..common.config import ClusterConfig
 from ..common.types import ClusterId, NodeId
 from ..sim.simulator import Timer
 from .log import OrderingLog
 
-__all__ = ["ConsensusHost", "QuorumTracker", "ConsensusEngine"]
+__all__ = ["ConsensusHost", "QuorumTracker", "ConsensusEngine", "HandlerTable"]
 
 
 @runtime_checkable
@@ -44,6 +44,11 @@ class ConsensusHost(Protocol):
 
     def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Arm a timer on the host's clock."""
+        ...
+
+    @property
+    def now(self) -> float:
+        """Current simulated time at the host."""
         ...
 
     @property
@@ -97,12 +102,48 @@ class QuorumTracker:
         self._fired.clear()
 
 
-class ConsensusEngine:
+class HandlerTable:
+    """Table-driven message dispatch shared by every protocol engine.
+
+    Subclasses declare ``HANDLERS``, a class-level mapping from concrete
+    message type to the *name* of the handling method.  The constructor
+    resolves those names into bound methods once (so subclass overrides —
+    e.g. :class:`~repro.baselines.single_group.FastPaxosEngine` replacing
+    ``_on_accept`` — are picked up automatically), and :meth:`handle`
+    dispatches with a single dict lookup on ``type(message)``.  Hosts
+    merge :meth:`handlers` into their own process-level dispatch table so
+    a delivered message is routed with one lookup end to end.
+    """
+
+    #: message type → handler method name; subclasses override.
+    HANDLERS: ClassVar[Mapping[type, str]] = {}
+
+    def _build_handlers(self) -> None:
+        self._handlers: dict[type, Callable[[Any, int], None]] = {
+            message_type: getattr(self, method_name)
+            for message_type, method_name in self.HANDLERS.items()
+        }
+
+    def handlers(self) -> dict[type, Callable[[Any, int], None]]:
+        """A copy of the bound message-type → handler table."""
+        return dict(self._handlers)
+
+    def handle(self, message: Any, src: int) -> bool:
+        """Process a protocol message; returns ``True`` if it was consumed."""
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            return False
+        handler(message, src)
+        return True
+
+
+class ConsensusEngine(HandlerTable):
     """Common plumbing shared by the intra-shard engines."""
 
     def __init__(self, host: ConsensusHost) -> None:
         self.host = host
         self.view = 0
+        self._build_handlers()
 
     # ------------------------------------------------------------------
     # primary/backup roles
@@ -123,12 +164,18 @@ class ConsensusEngine:
         return self.host.cluster.cluster_id
 
     # ------------------------------------------------------------------
+    # shared view-change handlers (both intra-shard engines own a
+    # ViewChangeManager under ``self.view_change``)
+    # ------------------------------------------------------------------
+    def _on_view_change_message(self, message: Any, src: int) -> None:
+        self.view_change.handle_view_change(message, src)
+
+    def _on_new_view_message(self, message: Any, src: int) -> None:
+        self.view_change.handle_new_view(message, src)
+
+    # ------------------------------------------------------------------
     # interface implemented by concrete engines
     # ------------------------------------------------------------------
     def submit(self, item: object) -> int | None:
         """Primary-side entry point: start consensus on ``item``."""
-        raise NotImplementedError
-
-    def handle(self, message: object, src: int) -> bool:
-        """Process a protocol message; returns ``True`` if it was consumed."""
         raise NotImplementedError

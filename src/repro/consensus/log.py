@@ -27,7 +27,6 @@ from ..common.types import ClusterId
 __all__ = ["EntryStatus", "LogEntry", "OrderingLog", "Noop", "item_digest"]
 
 from ..common.crypto import digest as _digest
-from ..txn.transaction import Transaction
 
 
 @dataclass(frozen=True)
@@ -38,10 +37,28 @@ class Noop:
 
 
 def item_digest(item: object) -> str:
-    """Digest of an ordered item (transaction, no-op, or protocol marker)."""
-    if isinstance(item, Transaction):
-        return item.payload_digest()
-    return _digest(item)
+    """Digest of an ordered item (transaction, no-op, or protocol marker).
+
+    Ordered items are immutable (frozen dataclasses), and one payload
+    object is shared by every replica a multicast reaches, so the digest
+    is computed once and memoised on the instance — every later replica
+    touching the same payload gets the cached value.  The cache attribute
+    lives in ``__dict__`` and is not a dataclass field, so equality,
+    hashing, and canonical encoding are unaffected.  Items that provide
+    their own ``payload_digest`` (transactions, client requests) delegate
+    to it.
+    """
+    payload_digest = getattr(item, "payload_digest", None)
+    if payload_digest is not None:
+        return payload_digest()
+    item_dict = getattr(item, "__dict__", None)
+    if item_dict is None:
+        return _digest(item)
+    cached = item_dict.get("_item_digest")
+    if cached is None:
+        cached = _digest(item)
+        object.__setattr__(item, "_item_digest", cached)
+    return cached
 
 
 class EntryStatus(enum.Enum):
@@ -52,7 +69,7 @@ class EntryStatus(enum.Enum):
     APPLIED = "applied"
 
 
-@dataclass
+@dataclass(slots=True)
 class LogEntry:
     """State of one slot."""
 
@@ -134,7 +151,8 @@ class OrderingLog:
         raises (the caller decides how to resolve the conflict — in the
         normal case it simply refuses to vote for the second proposal).
         """
-        self.observe(slot)
+        if slot >= self._next_slot:  # inline observe()
+            self._next_slot = slot + 1
         existing = self._entries.get(slot)
         if existing is not None:
             if existing.digest != digest and existing.status is not EntryStatus.PENDING:
@@ -164,7 +182,8 @@ class OrderingLog:
         will retry at another slot).  Deciding an already-decided slot with
         a different digest is a safety violation and raises.
         """
-        self.observe(slot)
+        if slot >= self._next_slot:  # inline observe()
+            self._next_slot = slot + 1
         existing = self._entries.get(slot)
         if existing is not None and existing.status is not EntryStatus.PENDING:
             if existing.digest != digest:
@@ -172,16 +191,27 @@ class OrderingLog:
                     f"slot {slot} decided twice with different digests (fork)"
                 )
             return existing
-        entry = LogEntry(
-            slot=slot,
-            digest=digest,
-            item=item,
-            status=EntryStatus.DECIDED,
-            positions=dict(positions or {self.cluster_id: slot}),
-            proposer=proposer,
-            view=view,
-        )
-        self._entries[slot] = entry
+        if existing is not None and existing.digest == digest:
+            # Promote the pending entry in place (the common path: the
+            # accept/pre-prepare already recorded it) instead of
+            # allocating a replacement.
+            entry = existing
+            entry.item = item
+            entry.status = EntryStatus.DECIDED
+            entry.positions = dict(positions or {self.cluster_id: slot})
+            entry.proposer = proposer
+            entry.view = view
+        else:
+            entry = LogEntry(
+                slot=slot,
+                digest=digest,
+                item=item,
+                status=EntryStatus.DECIDED,
+                positions=dict(positions or {self.cluster_id: slot}),
+                proposer=proposer,
+                view=view,
+            )
+            self._entries[slot] = entry
         self._decided_digests[digest] = slot
         return entry
 

@@ -6,10 +6,31 @@ signing per ``sign_signatures``.  Crash-only protocol messages carry no
 signatures ("since all nodes in the system are crash-only nodes, there is
 no need to sign messages", Section 3.2); Byzantine protocol messages are
 signed, as in Algorithms 2 and PBFT.
+
+Performance model & parallel execution
+--------------------------------------
+Every message is a *frozen* dataclass, and that immutability is load-
+bearing for the hot path:
+
+* one payload object is shared by all destinations of a multicast
+  (:meth:`repro.sim.network.Network.multicast`) — receivers must never
+  mutate a message;
+* digests are memoised on the instance by
+  :func:`repro.consensus.log.item_digest`; :class:`ClientRequest` — the
+  only message type that gets digested as an ordered item — therefore
+  keeps its ``__dict__`` (the cache lives there), while every other
+  message type is declared with ``slots=True`` to make the per-message
+  allocation as small as possible;
+* protocol dispatch is keyed on the concrete class (the per-engine
+  ``HANDLERS`` tables, merged into each replica's process-level table at
+  construction), so a delivered message is routed with a single dict
+  lookup — do not subclass message types expecting ``isinstance``-style
+  routing.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import ClassVar
 
@@ -55,8 +76,28 @@ class ClientRequest:
     verify_signatures: ClassVar[int] = 1
     sign_signatures: ClassVar[int] = 0
 
+    def payload_digest(self) -> str:
+        """Digest of the request, memoised on the (immutable) instance.
 
-@dataclass(frozen=True)
+        Built from the transaction's cached payload digest plus the
+        request scalars, so ordering a request never re-canonicalises the
+        transaction body.  Two requests with equal fields digest equally,
+        which is what the cross-shard engines' duplicate detection needs
+        across client retries.
+        """
+        cached = self.__dict__.get("_item_digest")
+        if cached is None:
+            cached = hashlib.sha256(
+                (
+                    f"CR|{self.transaction.payload_digest()}|{int(self.client)}"
+                    f"|{self.timestamp!r}|{self.reply_to}"
+                ).encode()
+            ).hexdigest()
+            object.__setattr__(self, "_item_digest", cached)
+        return cached
+
+
+@dataclass(frozen=True, slots=True)
 class ClientReply:
     """Reply sent back to the client once its transaction is executed."""
 
@@ -74,7 +115,7 @@ class ClientReply:
 # ----------------------------------------------------------------------
 # Intra-shard consensus, crash failure model (Paxos, Figure 3a)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaxosAccept:
     """Primary → backups: accept ``item`` at ``slot`` (carries ``H(t)``)."""
 
@@ -87,7 +128,7 @@ class PaxosAccept:
     sign_signatures: ClassVar[int] = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaxosAccepted:
     """Backup → primary: acknowledgement of an accept message."""
 
@@ -100,7 +141,7 @@ class PaxosAccepted:
     sign_signatures: ClassVar[int] = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaxosCommit:
     """Primary → backups: ``slot`` is decided; execute and append."""
 
@@ -116,7 +157,7 @@ class PaxosCommit:
 # ----------------------------------------------------------------------
 # Intra-shard consensus, Byzantine failure model (PBFT, Figure 3b)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrePrepare:
     """Primary → backups: signed pre-prepare for ``slot``."""
 
@@ -129,7 +170,7 @@ class PrePrepare:
     sign_signatures: ClassVar[int] = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Replica → replicas: signed prepare matching a pre-prepare."""
 
@@ -142,7 +183,7 @@ class Prepare:
     sign_signatures: ClassVar[int] = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PBFTCommit:
     """Replica → replicas: signed commit for ``slot``."""
 
@@ -158,7 +199,7 @@ class PBFTCommit:
 # ----------------------------------------------------------------------
 # View change (shared by both intra-shard protocols)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewChange:
     """Replica → replicas: the sender suspects the primary of ``view - 1``.
 
@@ -175,7 +216,7 @@ class ViewChange:
     sign_signatures: ClassVar[int] = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewView:
     """New primary → replicas: install ``view`` and re-propose ``entries``."""
 
@@ -190,7 +231,7 @@ class NewView:
 # ----------------------------------------------------------------------
 # Cross-shard consensus, crash failure model (Algorithm 1)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossPropose:
     """Initiator primary → nodes of every involved cluster (``PROPOSE``).
 
@@ -210,7 +251,7 @@ class CrossPropose:
     sign_signatures: ClassVar[int] = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossAccept:
     """Node of an involved cluster → initiator primary (``ACCEPT``).
 
@@ -229,7 +270,7 @@ class CrossAccept:
     sign_signatures: ClassVar[int] = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossCommit:
     """Initiator primary → nodes of every involved cluster (``COMMIT``).
 
@@ -250,7 +291,7 @@ class CrossCommit:
 # ----------------------------------------------------------------------
 # Cross-shard consensus, Byzantine failure model (Algorithm 2)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossProposeB:
     """Signed ``PROPOSE`` multicast by the initiator primary."""
 
@@ -265,7 +306,7 @@ class CrossProposeB:
     sign_signatures: ClassVar[int] = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossAcceptB:
     """Signed ``ACCEPT`` multicast by every node of every involved cluster."""
 
@@ -279,7 +320,7 @@ class CrossAcceptB:
     sign_signatures: ClassVar[int] = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossCommitB:
     """Signed ``COMMIT`` multicast by every node of every involved cluster."""
 
@@ -296,7 +337,7 @@ class CrossCommitB:
 # ----------------------------------------------------------------------
 # Active/passive replication support
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PassiveUpdate:
     """Active replica → passive replicas: execution result notification."""
 

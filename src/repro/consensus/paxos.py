@@ -26,6 +26,14 @@ __all__ = ["PaxosEngine"]
 class PaxosEngine(ConsensusEngine):
     """Multi-Paxos ordering engine for one crash-only cluster."""
 
+    HANDLERS = {
+        PaxosAccept: "_on_accept",
+        PaxosAccepted: "_on_accepted",
+        PaxosCommit: "_on_commit",
+        ViewChange: "_on_view_change_message",
+        NewView: "_on_new_view_message",
+    }
+
     def __init__(self, host: ConsensusHost) -> None:
         super().__init__(host)
         # f + 1 votes (counting the primary itself) decide a slot.
@@ -54,24 +62,8 @@ class PaxosEngine(ConsensusEngine):
         self.view_change.monitor_slot(slot)
 
     # ------------------------------------------------------------------
-    # message handling
+    # message handling (table-driven; see HandlerTable.handle)
     # ------------------------------------------------------------------
-    def handle(self, message: object, src: int) -> bool:
-        """Dispatch one protocol message; returns ``True`` if consumed."""
-        if isinstance(message, PaxosAccept):
-            self._on_accept(message, src)
-        elif isinstance(message, PaxosAccepted):
-            self._on_accepted(message, src)
-        elif isinstance(message, PaxosCommit):
-            self._on_commit(message, src)
-        elif isinstance(message, ViewChange):
-            self.view_change.handle_view_change(message, src)
-        elif isinstance(message, NewView):
-            self.view_change.handle_new_view(message, src)
-        else:
-            return False
-        return True
-
     def _on_accept(self, message: PaxosAccept, src: int) -> None:
         if src != self.host.cluster.primary_for_view(message.view):
             return

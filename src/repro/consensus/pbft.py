@@ -28,6 +28,14 @@ __all__ = ["PBFTEngine"]
 class PBFTEngine(ConsensusEngine):
     """PBFT ordering engine for one Byzantine cluster."""
 
+    HANDLERS = {
+        PrePrepare: "_on_pre_prepare",
+        Prepare: "_on_prepare",
+        PBFTCommit: "_on_commit",
+        ViewChange: "_on_view_change_message",
+        NewView: "_on_new_view_message",
+    }
+
     def __init__(self, host: ConsensusHost) -> None:
         super().__init__(host)
         quorum = 2 * host.cluster.f + 1
@@ -61,24 +69,8 @@ class PBFTEngine(ConsensusEngine):
         self._record_prepare_vote(key, self.host.node_id)
 
     # ------------------------------------------------------------------
-    # message handling
+    # message handling (table-driven; see HandlerTable.handle)
     # ------------------------------------------------------------------
-    def handle(self, message: object, src: int) -> bool:
-        """Dispatch one protocol message; returns ``True`` if consumed."""
-        if isinstance(message, PrePrepare):
-            self._on_pre_prepare(message, src)
-        elif isinstance(message, Prepare):
-            self._on_prepare(message, src)
-        elif isinstance(message, PBFTCommit):
-            self._on_commit(message, src)
-        elif isinstance(message, ViewChange):
-            self.view_change.handle_view_change(message, src)
-        elif isinstance(message, NewView):
-            self.view_change.handle_new_view(message, src)
-        else:
-            return False
-        return True
-
     def _on_pre_prepare(self, message: PrePrepare, src: int) -> None:
         if src != self.host.cluster.primary_for_view(message.view):
             return

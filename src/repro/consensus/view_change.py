@@ -17,7 +17,7 @@ keeps committing transactions.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from typing import TYPE_CHECKING
 
 from ..sim.simulator import Timer
@@ -32,14 +32,29 @@ __all__ = ["ViewChangeManager"]
 
 
 class ViewChangeManager:
-    """Drives timer-based primary fail-over for one consensus engine."""
+    """Drives timer-based primary fail-over for one consensus engine.
+
+    Slot monitoring uses a single rolling timer per engine instead of one
+    simulator timer per slot.  Slots are monitored in arming order, so
+    their deadlines are monotonically increasing: the timer is armed for
+    the earliest monitored deadline, and on firing it lazily skips slots
+    that decided in the meantime and re-arms for the next pending
+    deadline.  Fire times are identical to the per-slot-timer design, but
+    a fault-free run keeps one live timer event per engine instead of one
+    per slot — which previously bloated the event heap with tens of
+    thousands of cancelled entries per benchmark point.
+    """
 
     def __init__(self, engine: "ConsensusEngine", quorum: int) -> None:
         self.engine = engine
         self.quorum = quorum
         self._tracker = QuorumTracker(quorum)
         self._reports: dict[int, dict[int, ViewChange]] = defaultdict(dict)
-        self._slot_timers: dict[int, Timer] = {}
+        #: slots currently monitored (accepted but not yet decided).
+        self._monitored: set[int] = set()
+        #: (deadline, slot) in arming order — deadlines are monotonic.
+        self._deadlines: deque[tuple[float, int]] = deque()
+        self._timer: Timer | None = None
         self.in_view_change = False
         self.view_changes_completed = 0
 
@@ -48,21 +63,50 @@ class ViewChangeManager:
     # ------------------------------------------------------------------
     def monitor_slot(self, slot: int) -> None:
         """Start the commit timer for a slot this replica has accepted."""
-        if slot in self._slot_timers:
+        if slot in self._monitored:
             return
         host = self.engine.host
-        self._slot_timers[slot] = host.set_timer(
-            host.view_change_timeout, self._on_slot_timeout, slot
-        )
+        self._monitored.add(slot)
+        deadline = host.now + host.view_change_timeout
+        self._deadlines.append((deadline, slot))
+        if self._timer is None or not self._timer.active:
+            self._arm(deadline)
+
+    def _arm(self, deadline: float) -> None:
+        # Single live timer per engine: cancel any pending one (e.g. armed
+        # re-entrantly by monitor_slot during _on_timer) before arming.
+        if self._timer is not None and self._timer.active:
+            self._timer.cancel()
+        host = self.engine.host
+        delay = deadline - host.now
+        self._timer = host.set_timer(delay if delay > 0.0 else 0.0, self._on_timer)
 
     def slot_decided(self, slot: int) -> None:
-        """Cancel the commit timer once the slot is decided."""
-        timer = self._slot_timers.pop(slot, None)
-        if timer is not None:
-            timer.cancel()
+        """Stop monitoring a slot once it is decided (lazily dequeued)."""
+        self._monitored.discard(slot)
+
+    def _on_timer(self) -> None:
+        # The fired timer is spent; clear the handle so re-entrant
+        # monitor_slot calls (suspect → view change → re-propose) may arm
+        # a fresh one, which the final _arm call below takes over.
+        self._timer = None
+        now = self.engine.host.now
+        monitored = self._monitored
+        deadlines = self._deadlines
+        while deadlines:
+            deadline, slot = deadlines[0]
+            if slot not in monitored:
+                deadlines.popleft()
+                continue
+            if deadline > now:
+                self._arm(deadline)
+                return
+            deadlines.popleft()
+            monitored.discard(slot)
+            self._on_slot_timeout(slot)
+        # Deque drained; a timer armed re-entrantly (if any) stays owned.
 
     def _on_slot_timeout(self, slot: int) -> None:
-        self._slot_timers.pop(slot, None)
         entry = self.engine.host.log.entry(slot)
         if entry is not None and entry.status is not EntryStatus.PENDING:
             return
@@ -126,9 +170,11 @@ class ViewChangeManager:
         self.engine.view = view
         self.in_view_change = False
         self.view_changes_completed += 1
-        for timer in self._slot_timers.values():
-            timer.cancel()
-        self._slot_timers.clear()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._monitored.clear()
+        self._deadlines.clear()
 
     def _install_as_primary(self, view: int) -> None:
         """Become the primary of ``view``: announce it and resolve open slots."""
@@ -173,5 +219,5 @@ class ViewChangeManager:
     # ------------------------------------------------------------------
     @property
     def pending_slot_count(self) -> int:
-        """Number of slots currently monitored by commit timers."""
-        return len(self._slot_timers)
+        """Number of slots currently monitored by the commit timer."""
+        return len(self._monitored)

@@ -14,6 +14,7 @@ replies; it is used by a few tests and the ablation benchmarks.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -32,7 +33,7 @@ __all__ = ["ClosedLoopClient", "OpenLoopClient"]
 CLIENT_PID_BASE = 1_000_000
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """Book-keeping for one in-flight request."""
 
@@ -42,7 +43,8 @@ class _Outstanding:
     target: int
     repliers: set[int] = field(default_factory=set)
     successes: int = 0
-    resend_timer: object | None = None
+    #: current resend deadline; stale queue entries are skipped lazily.
+    resend_deadline: float = 0.0
     attempts: int = 0
 
 
@@ -73,6 +75,13 @@ class _BaseClient(Process):
         self.completed = 0
         self.failed = 0
         self.resubmissions = 0
+        self.register_handler(ClientReply, self._on_reply)
+        # One rolling retry timer per client instead of one simulator
+        # timer per request: deadlines are armed in monotonic order, so
+        # the timer tracks the earliest pending deadline and lazily skips
+        # entries whose request completed or was already resent.
+        self._retry_deadlines: deque[tuple[float, str]] = deque()
+        self._retry_timer = None
 
     # ------------------------------------------------------------------
     # issuing requests
@@ -95,12 +104,46 @@ class _BaseClient(Process):
         self._outstanding[transaction.tx_id] = state
         self.metrics.record_submission()
         self.send(target, request)
-        state.resend_timer = self.set_timer(self.retry_timeout, self._resend, transaction.tx_id)
+        self._schedule_resend(state, transaction.tx_id)
 
-    def _resend(self, tx_id: str) -> None:
-        state = self._outstanding.get(tx_id)
-        if state is None:
-            return
+    def _schedule_resend(self, state: _Outstanding, tx_id: str) -> None:
+        deadline = self.sim.now + self.retry_timeout
+        state.resend_deadline = deadline
+        self._retry_deadlines.append((deadline, tx_id))
+        if self._retry_timer is None or not self._retry_timer.active:
+            self._arm_retry_timer(deadline)
+
+    def _arm_retry_timer(self, deadline: float) -> None:
+        # Single live timer per client: cancel any pending one (e.g. armed
+        # re-entrantly by a resend inside _on_retry_timer) before arming.
+        if self._retry_timer is not None and self._retry_timer.active:
+            self._retry_timer.cancel()
+        delay = deadline - self.sim.now
+        self._retry_timer = self.set_timer(delay if delay > 0.0 else 0.0, self._on_retry_timer)
+
+    def _on_retry_timer(self) -> None:
+        # The fired timer is spent; clear the handle so resends scheduled
+        # inside the loop below may arm a fresh one (the final _arm call
+        # cancels it again, keeping exactly one live timer).
+        self._retry_timer = None
+        now = self.sim.now
+        deadlines = self._retry_deadlines
+        outstanding = self._outstanding
+        while deadlines:
+            deadline, tx_id = deadlines[0]
+            state = outstanding.get(tx_id)
+            if state is None or deadline != state.resend_deadline:
+                # Completed, or superseded by a later resend of the same tx.
+                deadlines.popleft()
+                continue
+            if deadline > now:
+                self._arm_retry_timer(deadline)
+                return
+            deadlines.popleft()
+            self._resend(state, tx_id)
+        # Deque drained; a timer armed re-entrantly (if any) stays owned.
+
+    def _resend(self, state: _Outstanding, tx_id: str) -> None:
         state.attempts += 1
         self.resubmissions += 1
         if self.fallback_targets is not None:
@@ -112,14 +155,12 @@ class _BaseClient(Process):
             reply_to=self.pid,
         )
         self.send(state.target, request)
-        state.resend_timer = self.set_timer(self.retry_timeout, self._resend, tx_id)
+        self._schedule_resend(state, tx_id)
 
     # ------------------------------------------------------------------
-    # handling replies
+    # handling replies (table-driven; see Process.on_message)
     # ------------------------------------------------------------------
-    def on_message(self, message: object, src: int) -> None:
-        if not isinstance(message, ClientReply):
-            return
+    def _on_reply(self, message: ClientReply, src: int) -> None:
         state = self._outstanding.get(message.tx_id)
         if state is None:
             return
@@ -128,9 +169,8 @@ class _BaseClient(Process):
             state.successes += 1
         if len(state.repliers) < self.required_replies:
             return
-        # Completed: enough distinct replicas confirmed execution.
-        if state.resend_timer is not None:
-            state.resend_timer.cancel()
+        # Completed: enough distinct replicas confirmed execution.  The
+        # rolling retry timer skips the stale deadline entry lazily.
         del self._outstanding[message.tx_id]
         self.completed += 1
         if state.successes == 0:

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 from ..common.errors import ConsensusError
 from ..common.types import ClusterId, NodeId
+from ..consensus.base import HandlerTable
 from ..consensus.log import item_digest
 from ..consensus.messages import (
     ClientRequest,
@@ -65,11 +66,18 @@ class _CrashState:
     timer: Timer | None = None
 
 
-class CrashCrossShardEngine:
+class CrashCrossShardEngine(HandlerTable):
     """Algorithm 1: flattened cross-shard consensus for crash-only nodes."""
+
+    HANDLERS = {
+        CrossPropose: "_on_propose",
+        CrossAccept: "_on_accept",
+        CrossCommit: "_on_commit",
+    }
 
     def __init__(self, host: "SharPerReplica") -> None:
         self.host = host
+        self._build_handlers()
         self._states: dict[str, _CrashState] = {}
         self._assigned_slots: dict[str, int] = {}
         self.initiated = 0
@@ -140,20 +148,8 @@ class CrashCrossShardEngine:
         self._arm_retry_timer(state)
 
     # ------------------------------------------------------------------
-    # message handling
+    # message handling (table-driven; see HandlerTable.handle)
     # ------------------------------------------------------------------
-    def handle(self, message: object, src: int) -> bool:
-        """Dispatch one cross-shard protocol message."""
-        if isinstance(message, CrossPropose):
-            self._on_propose(message, src)
-        elif isinstance(message, CrossAccept):
-            self._on_accept(message, src)
-        elif isinstance(message, CrossCommit):
-            self._on_commit(message, src)
-        else:
-            return False
-        return True
-
     def _on_propose(self, message: CrossPropose, src: int) -> None:
         digest = message.digest
         decided_slot = self.host.log.decided_slot_of(digest)
@@ -284,11 +280,18 @@ class _ByzState:
     timer: Timer | None = None
 
 
-class ByzantineCrossShardEngine:
+class ByzantineCrossShardEngine(HandlerTable):
     """Algorithm 2: flattened cross-shard consensus for Byzantine nodes."""
+
+    HANDLERS = {
+        CrossProposeB: "_on_propose",
+        CrossAcceptB: "_on_accept",
+        CrossCommitB: "_on_commit",
+    }
 
     def __init__(self, host: "SharPerReplica") -> None:
         self.host = host
+        self._build_handlers()
         self._states: dict[str, _ByzState] = {}
         self._assigned_slots: dict[str, int] = {}
         self.initiated = 0
@@ -366,20 +369,8 @@ class ByzantineCrossShardEngine:
         self.start(state.request)
 
     # ------------------------------------------------------------------
-    # message handling
+    # message handling (table-driven; see HandlerTable.handle)
     # ------------------------------------------------------------------
-    def handle(self, message: object, src: int) -> bool:
-        """Dispatch one cross-shard protocol message."""
-        if isinstance(message, CrossProposeB):
-            self._on_propose(message, src)
-        elif isinstance(message, CrossAcceptB):
-            self._on_accept(message, src)
-        elif isinstance(message, CrossCommitB):
-            self._on_commit(message, src)
-        else:
-            return False
-        return True
-
     def _on_propose(self, message: CrossProposeB, src: int) -> None:
         expected = self.host.primary_pid_of(message.initiator_cluster)
         if src != expected:

@@ -83,6 +83,12 @@ class SharPerReplica(Process):
         self.committed_cross_count = 0
         self.failed_executions = 0
         self.forwarded_requests = 0
+        # Table-driven dispatch: merge the engines' handler tables into the
+        # process-level table once, so delivery is a single dict lookup
+        # (the message sets of the two engines are disjoint).
+        self.register_handler(ClientRequest, self._on_client_request)
+        self.register_handlers(self.cross.handlers())
+        self.register_handlers(self.intra.handlers())
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -141,17 +147,8 @@ class SharPerReplica(Process):
         self.send(int(node_id), message)
 
     # ------------------------------------------------------------------
-    # message dispatch
+    # message dispatch (table-driven; see Process.on_message)
     # ------------------------------------------------------------------
-    def on_message(self, message: object, src: int) -> None:
-        """Route incoming messages to the client, cross, or intra handlers."""
-        if isinstance(message, ClientRequest):
-            self._on_client_request(message, src)
-            return
-        if self.cross.handle(message, src):
-            return
-        self.intra.handle(message, src)
-
     def _on_client_request(self, request: ClientRequest, src: int) -> None:
         if request.reply_to < 0:
             request = replace(request, reply_to=src)
@@ -210,15 +207,16 @@ class SharPerReplica(Process):
         positions = entry.positions or {self.cluster_id: entry.slot}
         parents = {self.cluster_id: self.chain.head_hash}
         proposer = entry.proposer if entry.proposer is not None else self.cluster_id
-        self.charge(self.cost_model.append_cost)
         item = entry.item
         if isinstance(item, ClientRequest):
             transaction = item.transaction
-            self.charge(self.cost_model.execution_cost)
+            # One fused CPU charge for append + execution (charging is
+            # associative, so this is exactly two consecutive charges).
+            self.charge(self.cost_model.append_cost + self.cost_model.execution_cost)
             result = self.executor.execute(transaction)
             if not result.success:
                 self.failed_executions += 1
-            block = Block.create(transaction, positions, proposer=proposer, parents=parents)
+            block = self._block_for(transaction, positions, proposer, parents)
             self.chain.append(block)
             self.committed_count += 1
             cross = len(positions) > 1
@@ -227,10 +225,37 @@ class SharPerReplica(Process):
             if self._should_reply(proposer):
                 self._send_reply(item, success=result.success, cross_shard=cross)
         elif isinstance(item, Noop):
+            self.charge(self.cost_model.append_cost)
             block = Block.noop(positions, proposer=proposer, parents=parents)
             self.chain.append(block)
         else:
+            self.charge(self.cost_model.append_cost)
             self.on_marker_applied(entry, positions, parents, proposer)
+
+    def _block_for(self, transaction, positions, proposer, parents) -> Block:
+        """One :class:`Block` object shared by replicas building the same block.
+
+        Every replica of a cluster decides the same ``(transaction,
+        positions, proposer, parents)`` tuple for a slot — and block
+        identity excludes parent hashes — so the first replica to apply
+        it builds (and hashes) the block and the rest reuse the object
+        via a memo on the shared transaction payload.  Parents are part
+        of the memo key, so each cluster of a cross-shard transaction
+        still materialises a block carrying its own parent reference.
+        """
+        key = (
+            tuple(positions.items())
+            if len(positions) == 1
+            else tuple(sorted(positions.items())),
+            proposer,
+            tuple(parents.items()),
+        )
+        memo = transaction.__dict__.get("_block_memo")
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        block = Block.create(transaction, positions, proposer=proposer, parents=parents)
+        object.__setattr__(transaction, "_block_memo", (key, block))
+        return block
 
     def on_marker_applied(self, entry, positions, parents, proposer) -> None:
         """Hook for subclasses that order protocol markers (e.g. AHL's 2PC).

@@ -26,6 +26,7 @@ from the position vectors, which encode the same predecessor relation.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Mapping
@@ -66,7 +67,20 @@ class Block:
             return
         if not self.transactions and not self.is_noop:
             raise LedgerError("a non-genesis block must contain at least one transaction")
-        position_clusters = {cluster for cluster, _ in self.positions}
+        positions = self.positions
+        if len(positions) == 1:
+            # Fast path: the vast majority of blocks are intra-shard, so
+            # skip the set machinery the general invariants need.
+            (cluster, index), = positions
+            if index < 1:
+                raise LedgerError("block positions start at 1 (position 0 is the genesis)")
+            for parent_cluster, _ in self.parents:
+                if parent_cluster != cluster:
+                    raise LedgerError(
+                        "a block may only carry parent hashes for clusters it is positioned in"
+                    )
+            return
+        position_clusters = {cluster for cluster, _ in positions}
         parent_clusters = {cluster for cluster, _ in self.parents}
         if not parent_clusters.issubset(position_clusters):
             raise LedgerError(
@@ -74,9 +88,9 @@ class Block:
             )
         if not position_clusters:
             raise LedgerError("a block must involve at least one cluster")
-        if len(position_clusters) != len(self.positions):
+        if len(position_clusters) != len(positions):
             raise LedgerError("duplicate cluster in block positions")
-        for _, index in self.positions:
+        for _, index in positions:
             if index < 1:
                 raise LedgerError("block positions start at 1 (position 0 is the genesis)")
 
@@ -94,6 +108,18 @@ class Block:
             is_genesis=True,
         )
 
+    @staticmethod
+    def _sorted_items(mapping: Mapping | None) -> tuple:
+        """Deterministically ordered ``(key, value)`` tuple of a mapping.
+
+        Mappings of one entry — the overwhelmingly common intra-shard case
+        — skip the sort.
+        """
+        if not mapping:
+            return ()
+        items = tuple(mapping.items())
+        return items if len(items) == 1 else tuple(sorted(items))
+
     @classmethod
     def create(
         cls,
@@ -105,8 +131,8 @@ class Block:
         """Build a single-transaction block from mapping-style arguments."""
         return cls(
             transactions=(transaction,),
-            positions=tuple(sorted(positions.items())),
-            parents=tuple(sorted((parents or {}).items())),
+            positions=cls._sorted_items(positions),
+            parents=cls._sorted_items(parents),
             proposer=proposer,
         )
 
@@ -120,8 +146,8 @@ class Block:
         """Build an empty gap-filling block."""
         return cls(
             transactions=(),
-            positions=tuple(sorted(positions.items())),
-            parents=tuple(sorted((parents or {}).items())),
+            positions=cls._sorted_items(positions),
+            parents=cls._sorted_items(parents),
             proposer=proposer,
             is_noop=True,
         )
@@ -147,15 +173,31 @@ class Block:
     # ------------------------------------------------------------------
     @cached_property
     def block_hash(self) -> str:
-        """Cryptographic hash identifying the block (``H(t)`` in the paper)."""
+        """Cryptographic hash identifying the block (``H(t)`` in the paper).
+
+        SHA-256 over an unambiguous flat encoding of the identity fields
+        (transaction payload digests, position vector, proposer, no-op
+        flag).  Every replica builds its own :class:`Block` object for a
+        decided slot, so this runs once per block per replica — the
+        encoding is built by hand instead of the generic canonical encoder
+        because it sits on the apply hot path.
+        """
         if self.is_genesis:
             return chain_hash(GENESIS_BLOCK_ID, GENESIS_HASH)
-        return chain_hash(
-            [tx.payload_digest() for tx in self.transactions],
-            [(int(cluster), index) for cluster, index in self.positions],
-            int(self.proposer),
-            self.is_noop,
-        )
+        transactions = self.transactions
+        if len(transactions) == 1:  # the common, unbatched case
+            tx_part = transactions[0].payload_digest()
+        else:
+            tx_part = ",".join(tx.payload_digest() for tx in transactions)
+        positions = self.positions
+        if len(positions) == 1:  # the common, intra-shard case
+            cluster, index = positions[0]
+            pos_part = f"{int(cluster)}:{index}"
+        else:
+            pos_part = ",".join(f"{int(cluster)}:{index}" for cluster, index in positions)
+        return hashlib.sha256(
+            f"B|{tx_part}|{pos_part}|{int(self.proposer)}|{int(self.is_noop)}".encode()
+        ).hexdigest()
 
     @property
     def transaction(self) -> Transaction:

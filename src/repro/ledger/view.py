@@ -113,34 +113,51 @@ class ClusterView:
     # append
     # ------------------------------------------------------------------
     def append(self, block: Block) -> None:
-        """Append a committed block, enforcing order and hash chaining."""
+        """Append a committed block, enforcing order and hash chaining.
+
+        Runs once per decided slot per replica, so the position and parent
+        references for this cluster are extracted in one pass each instead
+        of going through the generic (raising) block accessors.
+        """
         if block.is_genesis:
             raise LedgerError("cannot append a second genesis block")
-        if not block.involves(self.cluster_id):
+        cluster_id = self.cluster_id
+        position = None
+        for cluster, index in block.positions:
+            if cluster == cluster_id:
+                position = index
+                break
+        if position is None:
             raise LedgerError(
-                f"block {block.label()} does not involve cluster {self.cluster_id}"
+                f"block {block.label()} does not involve cluster {cluster_id}"
             )
-        position = block.position_for(self.cluster_id)
-        if position != self.next_index:
+        if position != len(self._blocks):
             raise ForkError(
-                f"cluster {self.cluster_id}: block {block.label()} targets position "
+                f"cluster {cluster_id}: block {block.label()} targets position "
                 f"{position} but the next free position is {self.next_index}"
             )
-        parent = block.parent_for(self.cluster_id)
-        if parent != self.head_hash:
+        parent = None
+        for cluster, parent_hash in block.parents:
+            if cluster == cluster_id:
+                parent = parent_hash
+                break
+        if parent != self._blocks[-1].block_hash:
+            reference = "none" if parent is None else parent[:8]
             raise HashChainError(
-                f"cluster {self.cluster_id}: block {block.label()} references parent "
-                f"{parent[:8]} but the head is {self.head_hash[:8]}"
+                f"cluster {cluster_id}: block {block.label()} references parent "
+                f"{reference} but the head is {self.head_hash[:8]}"
             )
-        for tx_id in block.tx_ids:
-            if tx_id in self._tx_index:
+        tx_index = self._tx_index
+        for transaction in block.transactions:
+            if transaction.tx_id in tx_index:
                 raise ForkError(
-                    f"cluster {self.cluster_id}: transaction {tx_id} is already committed"
+                    f"cluster {cluster_id}: transaction {transaction.tx_id} "
+                    "is already committed"
                 )
         self._blocks.append(block)
         self._by_hash[block.block_hash] = block
-        for tx_id in block.tx_ids:
-            self._tx_index[tx_id] = position
+        for transaction in block.transactions:
+            tx_index[transaction.tx_id] = position
 
     # ------------------------------------------------------------------
     # verification

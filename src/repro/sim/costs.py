@@ -14,6 +14,10 @@ Messages opt into signature costs by exposing two integer attributes:
 
 Crash-only protocols leave both at zero (the paper notes that crash-only
 deployments do not sign messages); Byzantine protocols set them to 1.
+A message class may additionally declare ``extra_receive_cpu`` (seconds)
+to model heavier parsing.  All three attributes are class-level
+constants, so the per-type costs are cached on first use — cost lookup on
+the delivery hot path is a single dict probe.
 """
 
 from __future__ import annotations
@@ -33,21 +37,35 @@ class CostModel:
 
     def __init__(self, performance: PerformanceModel) -> None:
         self.performance = performance
+        # Per-message-type cost caches (signature counts are ClassVars).
+        self._receive_cost: dict[type, float] = {}
+        self._sign_cost: dict[type, float] = {}
 
     def receive_cost(self, message: Any) -> float:
         """CPU seconds to receive, parse, and verify ``message``."""
-        perf = self.performance
-        cost = perf.message_cpu
-        cost += getattr(message, "verify_signatures", 0) * perf.signature_verify_cpu
-        cost += getattr(message, "extra_receive_cpu", 0.0)
+        message_type = message.__class__
+        cost = self._receive_cost.get(message_type)
+        if cost is None:
+            perf = self.performance
+            cost = perf.message_cpu
+            cost += getattr(message_type, "verify_signatures", 0) * perf.signature_verify_cpu
+            cost += getattr(message_type, "extra_receive_cpu", 0.0)
+            self._receive_cost[message_type] = cost
         return cost
 
     def send_cost(self, message: Any, destinations: int = 1) -> float:
         """CPU seconds to serialise and push ``message`` to ``destinations``."""
-        perf = self.performance
-        per_destination = perf.message_cpu * self.SEND_FRACTION
-        signing = getattr(message, "sign_signatures", 0) * perf.signature_sign_cpu
-        return signing + per_destination * max(destinations, 0)
+        message_type = message.__class__
+        signing = self._sign_cost.get(message_type)
+        if signing is None:
+            signing = (
+                getattr(message_type, "sign_signatures", 0)
+                * self.performance.signature_sign_cpu
+            )
+            self._sign_cost[message_type] = signing
+        if destinations <= 0:
+            return signing
+        return signing + self.performance.message_cpu * self.SEND_FRACTION * destinations
 
     @property
     def execution_cost(self) -> float:

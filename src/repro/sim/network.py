@@ -13,6 +13,16 @@ or reorder messages.  This module models exactly that:
 * pairwise authentication is modelled by handing the receiver the true
   sender id — a Byzantine process cannot claim another node's identity at
   the transport layer, matching the paper's assumption.
+
+Performance model & parallel execution
+--------------------------------------
+Consensus traffic is dominated by one-to-many sends (pre-prepares,
+accepts, commits), so :meth:`Network.multicast` is a first-class
+primitive: it shares a single immutable payload object across all
+destinations, hoists the partition/drop checks out of the loop when no
+fault is active, and bulk-schedules the deliveries.  It consumes the
+seeded RNG in exactly the per-destination ``send`` order, so multicast
+runs stay bit-identical with the loop it replaced.
 """
 
 from __future__ import annotations
@@ -39,17 +49,29 @@ class LatencyModel(Protocol):
 
 
 class UniformLatencyModel:
-    """Every link has the same base delay plus uniform jitter."""
+    """Every link has the same base delay plus uniform multiplicative jitter.
+
+    ``jitter`` is a *multiplicative fraction*: each delay is drawn as
+    ``base_delay * (1 + U[0, jitter])``, so ``jitter=0.5`` means links are
+    up to 50% slower than the base delay, never faster.
+    :class:`ClusteredLatencyModel` uses the same convention for its
+    ``latency_jitter`` knob, so swapping models never reinterprets the
+    jitter figure.
+    """
 
     def __init__(self, base_delay: float, jitter: float = 0.0, rng: random.Random | None = None):
         if base_delay < 0:
             raise ValueError("base_delay must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
         self.base_delay = base_delay
         self.jitter = jitter
         self.rng = rng or random.Random(0)
 
     def delay(self, src: int, dst: int) -> float:
-        jitter = self.rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+        # rng.random() * jitter == rng.uniform(0, jitter), one draw either
+        # way, so the seeded stream is unchanged by the inlining.
+        jitter = self.rng.random() * self.jitter if self.jitter else 0.0
         return self.base_delay * (1.0 + jitter)
 
 
@@ -72,6 +94,11 @@ class ClusteredLatencyModel:
         self.performance = performance
         self.cluster_of = dict(cluster_of)
         self.rng = rng or random.Random(0)
+        # Base delays are memoised per (src, dst) pair: cluster membership
+        # is static once traffic starts (system builders finish updating
+        # ``cluster_of`` before the first message), so the two topology
+        # lookups collapse into one dict probe on the hot path.
+        self._pair_base: dict[tuple[int, int], float] = {}
 
     def _base_delay(self, src: int, dst: int) -> float:
         perf = self.performance
@@ -84,10 +111,17 @@ class ClusteredLatencyModel:
         return perf.cross_cluster_latency
 
     def delay(self, src: int, dst: int) -> float:
-        base = self._base_delay(src, dst)
+        # Same multiplicative-fraction jitter convention as
+        # UniformLatencyModel: base * (1 + U[0, jitter]).
+        pair = (src, dst)
+        base = self._pair_base.get(pair)
+        if base is None:
+            base = self._base_delay(src, dst)
+            self._pair_base[pair] = base
         jitter = self.performance.latency_jitter
         if jitter:
-            base *= 1.0 + self.rng.uniform(0.0, jitter)
+            # Same single rng draw as rng.uniform(0, jitter).
+            base *= 1.0 + self.rng.random() * jitter
         return base
 
 
@@ -113,7 +147,9 @@ class Network:
         self._processes: dict[int, "Process"] = {}
         self._severed_links: set[frozenset[int]] = set()
         self._partition_of: dict[int, int] | None = None
-        self._last_arrival: dict[tuple[int, int], float] = {}
+        #: per-link FIFO watermark, keyed ``src << 21 | dst`` (process ids
+        #: fit in 21 bits: replicas are small ints, clients start at 1e6).
+        self._last_arrival: dict[int, float] = {}
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
@@ -189,19 +225,22 @@ class Network:
         destination = self._processes.get(dst)
         if destination is None:
             raise NetworkError(f"cannot send to unknown process {dst}")
-        if not self._reachable(src, dst):
-            self.messages_dropped += 1
-            return False
+        # Fast path mirroring multicast: with no partition, severed link,
+        # or drop rate there is nothing that can stop the message.
+        if self._partition_of is not None or self._severed_links:
+            if not self._reachable(src, dst):
+                self.messages_dropped += 1
+                return False
         if self.drop_rate and self.sim.rng.random() < self.drop_rate:
             self.messages_dropped += 1
             return False
         departure = max(depart_time if depart_time is not None else self.sim.now, self.sim.now)
         arrival = departure + self.latency_model.delay(src, dst)
         if self.fifo:
-            link = (src, dst)
+            link = (src << 21) | dst
             arrival = max(arrival, self._last_arrival.get(link, 0.0))
             self._last_arrival[link] = arrival
-        self.sim.schedule_at(arrival, self._deliver, destination, message, src)
+        self.sim.schedule_at_fast(arrival, self._deliver, (destination, message, src))
         return True
 
     def multicast(
@@ -212,14 +251,60 @@ class Network:
         depart_time: float | None = None,
         include_self: bool = False,
     ) -> int:
-        """Send ``message`` to every destination; returns the count sent."""
-        sent = 0
+        """Send one immutable ``message`` to every destination.
+
+        Semantically identical to calling :meth:`send` per destination
+        (same per-destination latency draws, drop decisions, and FIFO
+        ordering — the RNG is consumed in the same order, so runs are
+        bit-identical), but the shared work is done once: a single payload
+        object goes on the wire, the partition/severed-link/drop checks
+        are hoisted out of the loop when no fault is active (the fast
+        path), and all deliveries are bulk-scheduled via
+        :meth:`Simulator.schedule_many`.  Returns the count put on the wire.
+        """
+        sim = self.sim
+        now = sim.now
+        departure = now if depart_time is None or depart_time < now else depart_time
+        # Fast path: no partition, no severed links, no random drops —
+        # every destination is reachable, so skip the per-destination
+        # fault checks entirely.
+        faultless = (
+            not self.drop_rate and self._partition_of is None and not self._severed_links
+        )
+        delay = self.latency_model.delay
+        processes = self._processes
+        fifo = self.fifo
+        last_arrival = self._last_arrival
+        deliver = self._deliver
+        deliveries: list[tuple[float, object, tuple]] = []
+        attempted = 0
         for dst in destinations:
             if dst == src and not include_self:
                 continue
-            if self.send(src, dst, message, depart_time=depart_time):
-                sent += 1
-        return sent
+            attempted += 1
+            destination = processes.get(dst)
+            if destination is None:
+                raise NetworkError(f"cannot send to unknown process {dst}")
+            if not faultless:
+                if not self._reachable(src, dst):
+                    self.messages_dropped += 1
+                    continue
+                if self.drop_rate and sim.rng.random() < self.drop_rate:
+                    self.messages_dropped += 1
+                    continue
+            arrival = departure + delay(src, dst)
+            if fifo:
+                link = (src << 21) | dst
+                previous = last_arrival.get(link, 0.0)
+                if arrival < previous:
+                    arrival = previous
+                last_arrival[link] = arrival
+            deliveries.append((arrival, deliver, (destination, message, src)))
+        self.messages_sent += attempted
+        # Arrivals are >= departure >= now by construction, so push the
+        # batch straight onto the queue, skipping schedule_many's check.
+        sim._queue.push_many(deliveries)
+        return len(deliveries)
 
     def _deliver(self, destination: "Process", message: object, src: int) -> None:
         self.messages_delivered += 1

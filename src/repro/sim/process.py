@@ -9,6 +9,17 @@ produced them, which is what makes a primary that multicasts to many
 replicas an honest bottleneck — the effect behind every saturation knee
 in the paper's figures.
 
+Performance model & parallel execution
+--------------------------------------
+Message dispatch is table-driven: subclasses register one handler per
+concrete message type (:meth:`Process.register_handler`), and the default
+:meth:`Process.on_message` resolves the handler with a single dict lookup
+on ``type(message)`` — no ``isinstance`` chains on the hot path.
+Messages of unregistered types are silently dropped, mirroring a real
+node discarding traffic it does not understand.  Multicasts go through
+:meth:`Network.multicast`, which shares one immutable payload across all
+destinations.
+
 Fault injection hooks:
 
 * :meth:`Process.crash` / :meth:`Process.recover` — crash-stop behaviour;
@@ -25,6 +36,9 @@ from .network import Network
 from .simulator import Simulator, Timer
 
 __all__ = ["Process"]
+
+#: Signature of a registered message handler.
+MessageHandler = Callable[[Any, int], None]
 
 
 class Process:
@@ -49,14 +63,27 @@ class Process:
         self.messages_received = 0
         self.messages_sent = 0
         self.cpu_busy_time = 0.0
+        #: message-type → handler table driving :meth:`on_message`.
+        self._dispatch: dict[type, MessageHandler] = {}
+        #: subclasses that override on_message get it called per message;
+        #: table-driven subclasses skip the extra hop entirely.
+        self._uses_default_on_message = type(self).on_message is Process.on_message
         network.register(self)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (ConsensusHost interface)."""
+        return self.sim.now
 
     # ------------------------------------------------------------------
     # CPU accounting
     # ------------------------------------------------------------------
     def charge(self, cpu_seconds: float) -> float:
         """Occupy the CPU for ``cpu_seconds``; returns the completion time."""
-        start = max(self.sim.now, self._cpu_free_at)
+        start = self.sim.now
+        free_at = self._cpu_free_at
+        if free_at > start:
+            start = free_at
         self._cpu_free_at = start + cpu_seconds
         self.cpu_busy_time += cpu_seconds
         return self._cpu_free_at
@@ -80,24 +107,80 @@ class Process:
         if self.crashed:
             return
         self.messages_received += 1
-        completion = self.charge(self.cost_model.receive_cost(message))
-        self.sim.schedule_at(completion, self._dispatch, message, src)
+        # Inlined charge + handle-free scheduling: this runs once per
+        # delivered message, making it the single hottest method in the
+        # repo.  completion >= now always holds, so the scheduling-in-the-
+        # past check is unnecessary.
+        start = self.sim._now
+        free_at = self._cpu_free_at
+        if free_at > start:
+            start = free_at
+        cost_model = self.cost_model
+        cost = cost_model._receive_cost.get(message.__class__)
+        if cost is None:
+            cost = cost_model.receive_cost(message)
+        completion = start + cost
+        self._cpu_free_at = completion
+        self.cpu_busy_time += cost
+        self.sim._queue.push_fast(completion, self._dispatch_message, (message, src))
 
-    def _dispatch(self, message: Any, src: int) -> None:
+    def _dispatch_message(self, message: Any, src: int) -> None:
         if self.crashed:
             return
-        self.on_message(message, src)
+        if self._uses_default_on_message:
+            handler = self._dispatch.get(message.__class__)
+            if handler is not None:
+                handler(message, src)
+            elif not self._dispatch:
+                self.on_message(message, src)  # raises NotImplementedError
+        else:
+            self.on_message(message, src)
+
+    def register_handler(self, message_type: type, handler: MessageHandler) -> None:
+        """Route messages of exactly ``message_type`` to ``handler``.
+
+        Dispatch is by concrete type (``type(message)`` lookup), not by
+        ``isinstance`` — register each concrete message class explicitly.
+        Registering a type again replaces the previous handler, which is
+        how subclasses (e.g. AHL's replicas) intercept message types their
+        base class also handles.
+        """
+        self._dispatch[message_type] = handler
+
+    def register_handlers(self, handlers: dict[type, MessageHandler]) -> None:
+        """Bulk variant of :meth:`register_handler`."""
+        self._dispatch.update(handlers)
 
     def on_message(self, message: Any, src: int) -> None:
-        """Protocol handler; subclasses override."""
-        raise NotImplementedError
+        """Protocol handler: one dict lookup on the concrete message type.
+
+        Messages of unregistered types are dropped.  Subclasses either
+        register handlers at construction time or override this method
+        entirely.  A process with an empty table raises, signalling a
+        subclass that forgot to do either.
+        """
+        handler = self._dispatch.get(type(message))
+        if handler is not None:
+            handler(message, src)
+        elif not self._dispatch:
+            raise NotImplementedError(
+                f"{type(self).__name__} registered no message handlers and "
+                "does not override on_message"
+            )
 
     # ------------------------------------------------------------------
     # send path
     # ------------------------------------------------------------------
     def send(self, dst: int, message: Any) -> None:
         """Send one message, charging send-side CPU first."""
-        departure = self.charge(self.cost_model.send_cost(message, destinations=1))
+        cost = self.cost_model.send_cost(message, destinations=1)
+        start = self.sim._now  # inlined charge()
+        free_at = self._cpu_free_at
+        if free_at > start:
+            start = free_at
+        departure = start + cost
+        self._cpu_free_at = departure
+        self.cpu_busy_time += cost
         self.messages_sent += 1
         self.network.send(self.pid, dst, message, depart_time=departure)
 
@@ -105,13 +188,25 @@ class Process:
         """Send ``message`` to every destination except this process.
 
         Signing cost is charged once; per-destination serialisation cost is
-        charged for each copy, so wide multicasts genuinely cost more.
+        charged for each copy, so wide multicasts genuinely cost more.  The
+        transport shares one immutable payload object across destinations
+        (:meth:`Network.multicast`).
         """
-        targets = [dst for dst in destinations if dst != self.pid]
-        departure = self.charge(self.cost_model.send_cost(message, destinations=len(targets)))
-        for dst in targets:
-            self.messages_sent += 1
-            self.network.send(self.pid, dst, message, depart_time=departure)
+        pid = self.pid
+        count = 0
+        for dst in destinations:
+            if dst != pid:
+                count += 1
+        cost = self.cost_model.send_cost(message, destinations=count)
+        start = self.sim._now  # inlined charge()
+        free_at = self._cpu_free_at
+        if free_at > start:
+            start = free_at
+        departure = start + cost
+        self._cpu_free_at = departure
+        self.cpu_busy_time += cost
+        self.messages_sent += count
+        self.network.multicast(pid, destinations, message, depart_time=departure)
 
     # ------------------------------------------------------------------
     # timers and fault injection

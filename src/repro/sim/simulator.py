@@ -5,17 +5,32 @@ the testbed with a deterministic simulator (see DESIGN.md, substitutions
 table).  The simulator provides:
 
 * a virtual clock (:attr:`Simulator.now`, in seconds);
-* event scheduling with cancellation (:meth:`Simulator.schedule`);
+* event scheduling with cancellation (:meth:`Simulator.schedule`) and
+  bulk scheduling without handle allocation (:meth:`Simulator.schedule_many`);
 * cancellable timers (used by the protocols' view-change and conflict
   timers);
 * a seeded random number generator shared by the network jitter model and
   the workload generators, so that every run is reproducible.
+
+Performance model & parallel execution
+--------------------------------------
+:meth:`Simulator.run` is the single hottest loop of the repo, so it works
+directly on the queue's raw ``[time, sequence, callback, args]`` heap
+entries (see :mod:`repro.sim.events`) instead of allocating per-event
+handle objects.  The kernel also keeps an events/sec counter
+(:attr:`Simulator.events_per_second`) measured over wall-clock time spent
+inside ``run`` — the number ``bench/perfbench.py`` tracks in
+``BENCH_kernel.json``.  Whole runs are deterministic for a seed, which is
+what lets the bench harness farm scenario runs out to a
+``multiprocessing`` pool (``--jobs``) with bit-identical per-seed results.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable
+from heapq import heappop
+from time import perf_counter
+from typing import Any, Callable, Iterable
 
 from ..common.errors import SimulationError
 from .events import Event, EventQueue
@@ -25,6 +40,8 @@ __all__ = ["Simulator", "Timer"]
 
 class Timer:
     """A cancellable timer handle returned by :meth:`Simulator.set_timer`."""
+
+    __slots__ = ("_event",)
 
     def __init__(self, event: Event) -> None:
         self._event = event
@@ -52,6 +69,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._processed_events = 0
+        self._run_wall_time = 0.0
         self.rng = random.Random(seed)
 
     @property
@@ -69,6 +87,18 @@ class Simulator:
         """Number of events still queued."""
         return len(self._queue)
 
+    @property
+    def run_wall_time(self) -> float:
+        """Wall-clock seconds spent inside :meth:`run` so far."""
+        return self._run_wall_time
+
+    @property
+    def events_per_second(self) -> float:
+        """Events fired per wall-clock second spent in :meth:`run`."""
+        if self._run_wall_time <= 0.0:
+            return 0.0
+        return self._processed_events / self._run_wall_time
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
@@ -83,6 +113,38 @@ class Simulator:
             )
         return self._queue.push(time, callback, *args)
 
+    def schedule_at_fast(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+        """Handle-free :meth:`schedule_at` for never-cancelled events.
+
+        Used by the transport and CPU-dispatch hot paths; the event cannot
+        be cancelled individually (crash semantics are enforced inside the
+        callbacks instead).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, current time is {self._now:.6f}"
+            )
+        self._queue.push_fast(time, callback, args)
+
+    def schedule_many(
+        self, items: Iterable[tuple[float, Callable[..., None], tuple]]
+    ) -> None:
+        """Bulk-schedule ``(absolute_time, callback, args)`` triples.
+
+        The fast path behind :meth:`repro.sim.network.Network.multicast`:
+        no :class:`Event` handles are allocated, so the scheduled events
+        cannot be cancelled individually.  Times must not lie in the past.
+        """
+        if not isinstance(items, list):
+            items = list(items)
+        now = self._now
+        for time, _, _ in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at t={time:.6f}, current time is {now:.6f}"
+                )
+        self._queue.push_many(items)
+
     def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Arm a cancellable timer (protocol timeout helper)."""
         return Timer(self.schedule(delay, callback, *args))
@@ -94,24 +156,37 @@ class Simulator:
         ``until``, or after ``max_events`` events — whichever comes first.
         Returns the simulated time at which the run stopped.
         """
+        # Hot loop: operate on the queue's raw heap entries (layout
+        # [time, sequence, callback, args]) — no per-event allocations.
+        heap = self._queue._heap
         self._running = True
         fired = 0
+        wall_start = perf_counter()
         while self._running:
-            next_time = self._queue.peek_time()
-            if next_time is None:
+            while heap and heap[0][2] is None:  # drop cancelled entries
+                heappop(heap)
+            if not heap:
                 break
+            entry = heap[0]
+            next_time = entry[0]
             if until is not None and next_time > until:
                 self._now = until
                 break
             if max_events is not None and fired >= max_events:
                 break
-            event = self._queue.pop()
-            if event is None:
-                break
-            self._now = event.time
-            event.fire()
-            self._processed_events += 1
+            heappop(heap)
+            self._now = next_time
+            callback = entry[2]
+            args = entry[3]
+            # Consume the entry before invoking so a Timer/Event handle
+            # sees the event as no longer pending even if the callback
+            # body is skipped (e.g. crash guards) or raises.
+            entry[2] = None
+            entry[3] = ()
+            callback(*args)
             fired += 1
+        self._processed_events += fired
+        self._run_wall_time += perf_counter() - wall_start
         self._running = False
         if until is not None and self._queue.peek_time() is None:
             # The system went idle before the horizon; advance the clock so

@@ -63,15 +63,16 @@ class ShardMapper:
             raise ConfigurationError("accounts_per_shard must be positive")
         self.num_shards = num_shards
         self.accounts_per_shard = accounts_per_shard
+        self._total_accounts = num_shards * accounts_per_shard
 
     @property
     def total_accounts(self) -> int:
         """Total number of accounts across all shards."""
-        return self.num_shards * self.accounts_per_shard
+        return self._total_accounts
 
     def shard_of(self, account_id: AccountId) -> ShardId:
         """Shard that stores ``account_id``."""
-        if not 0 <= account_id < self.total_accounts:
+        if not 0 <= account_id < self._total_accounts:
             raise UnknownAccountError(f"account {account_id} is outside the keyspace")
         return ShardId(account_id // self.accounts_per_shard)
 

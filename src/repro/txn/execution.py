@@ -51,28 +51,45 @@ class TransactionExecutor:
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
-    def _local_transfers(self, transaction: Transaction) -> list[Transfer]:
-        """Transfers with at least one endpoint in this shard."""
-        local: list[Transfer] = []
+    def _classify_local(
+        self, transaction: Transaction
+    ) -> list[tuple[Transfer, bool, bool]]:
+        """Transfers touching this shard, with per-endpoint locality flags.
+
+        Classified once per execution; validation and application both
+        consume the same list, so each endpoint's shard is looked up
+        exactly once.
+        """
+        shard = self.shard
+        shard_of = self.mapper.shard_of
+        local: list[tuple[Transfer, bool, bool]] = []
         for transfer in transaction.transfers:
-            touches_local = (
-                self.mapper.shard_of(transfer.source) == self.shard
-                or self.mapper.shard_of(transfer.destination) == self.shard
-            )
-            if touches_local:
-                local.append(transfer)
+            source_local = shard_of(transfer.source) == shard
+            destination_local = shard_of(transfer.destination) == shard
+            if source_local or destination_local:
+                local.append((transfer, source_local, destination_local))
         return local
 
-    def validate(self, transaction: Transaction) -> None:
+    def _local_transfers(self, transaction: Transaction) -> list[Transfer]:
+        """Transfers with at least one endpoint in this shard."""
+        return [transfer for transfer, _, _ in self._classify_local(transaction)]
+
+    def validate(
+        self,
+        transaction: Transaction,
+        classified: list[tuple[Transfer, bool, bool]] | None = None,
+    ) -> None:
         """Raise :class:`ValidationError` if the local part is invalid.
 
         Checks ownership of source accounts stored locally and that each
         locally-stored source holds sufficient balance for the sum of its
         outgoing transfers in this transaction.
         """
+        if classified is None:
+            classified = self._classify_local(transaction)
         outgoing: dict[int, int] = {}
-        for transfer in self._local_transfers(transaction):
-            if self.mapper.shard_of(transfer.source) != self.shard:
+        for transfer, source_local, _ in classified:
+            if not source_local:
                 continue
             account = self.store.account(transfer.source)
             if self.enforce_ownership and account.owner != transaction.client:
@@ -96,8 +113,9 @@ class TransactionExecutor:
         Execution is all-or-nothing for the local part: if validation
         fails nothing is applied and a failed result is returned.
         """
+        classified = self._classify_local(transaction)
         try:
-            self.validate(transaction)
+            self.validate(transaction, classified)
         except ValidationError as exc:
             self.failed += 1
             return ExecutionResult(
@@ -107,15 +125,12 @@ class TransactionExecutor:
                 error=str(exc),
             )
         applied = 0
-        for transfer in self._local_transfers(transaction):
-            if self.mapper.shard_of(transfer.source) == self.shard:
-                self.store.withdraw(
-                    transfer.source,
-                    transfer.amount,
-                    requester=transaction.client if self.enforce_ownership else None,
-                )
+        requester = transaction.client if self.enforce_ownership else None
+        for transfer, source_local, destination_local in classified:
+            if source_local:
+                self.store.withdraw(transfer.source, transfer.amount, requester=requester)
                 applied += 1
-            if self.mapper.shard_of(transfer.destination) == self.shard:
+            if destination_local:
                 self.store.deposit(transfer.destination, transfer.amount)
                 applied += 1
         self.executed += 1

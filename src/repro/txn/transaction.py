@@ -12,6 +12,7 @@ the classification helpers take a :class:`~repro.txn.accounts.ShardMapper`.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -31,7 +32,7 @@ def new_tx_id(client: ClientId) -> str:
     return f"tx-{client}-{next(_tx_counter)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transfer:
     """Move ``amount`` units from ``source`` to ``destination``."""
 
@@ -74,10 +75,14 @@ class Transaction:
     # ------------------------------------------------------------------
     @property
     def accounts(self) -> frozenset[AccountId]:
-        """All accounts read or written by the transaction."""
-        return frozenset(
-            account for transfer in self.transfers for account in transfer.accounts
-        )
+        """All accounts read or written by the transaction (memoised)."""
+        cached = self.__dict__.get("_accounts")
+        if cached is None:
+            cached = frozenset(
+                account for transfer in self.transfers for account in transfer.accounts
+            )
+            object.__setattr__(self, "_accounts", cached)
+        return cached
 
     @property
     def read_set(self) -> frozenset[AccountId]:
@@ -90,18 +95,21 @@ class Transaction:
         return self.accounts
 
     def payload_digest(self) -> str:
-        """Digest ``D(m)`` over the transaction body (excludes signature)."""
+        """Digest ``D(m)`` over the transaction body (excludes signature).
+
+        SHA-256 over a flat, unambiguous encoding of the body fields,
+        memoised on the (frozen) instance — every replica that orders or
+        executes the transaction reuses the cached value.
+        """
         cached = self.__dict__.get("_payload_digest")
         if cached is not None:
             return cached
-        value = digest(
-            (
-                self.tx_id,
-                int(self.client),
-                [(int(t.source), int(t.destination), t.amount) for t in self.transfers],
-                self.timestamp,
-            )
+        transfers = ";".join(
+            f"{int(t.source)}>{int(t.destination)}:{t.amount}" for t in self.transfers
         )
+        value = hashlib.sha256(
+            f"TX|{self.tx_id}|{int(self.client)}|{transfers}|{self.timestamp!r}".encode()
+        ).hexdigest()
         # Cache on the instance; the dataclass is frozen so use object.__setattr__.
         object.__setattr__(self, "_payload_digest", value)
         return value
@@ -110,8 +118,19 @@ class Transaction:
     # sharding classification
     # ------------------------------------------------------------------
     def involved_shards(self, mapper: ShardMapper) -> frozenset[ShardId]:
-        """Shards whose records this transaction accesses."""
-        return mapper.shards_of(self.accounts)
+        """Shards whose records this transaction accesses.
+
+        Memoised per mapper instance: a request is classified by its
+        client, by the routing layer, and by every replica that orders it
+        — all against the same shard mapper — so the set is computed once
+        and the cached value is shared wherever the payload travels.
+        """
+        cached = self.__dict__.get("_involved_shards")
+        if cached is not None and cached[0] is mapper:
+            return cached[1]
+        shards = mapper.shards_of(self.accounts)
+        object.__setattr__(self, "_involved_shards", (mapper, shards))
+        return shards
 
     def tx_type(self, mapper: ShardMapper) -> TxType:
         """Whether the transaction is intra- or cross-shard under ``mapper``."""

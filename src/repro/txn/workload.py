@@ -81,8 +81,21 @@ class WorkloadGenerator:
         self.num_shards = num_shards
         self.mapper = ShardMapper(num_shards, config.accounts_per_shard)
         self.rng = random.Random(seed)
+        self.seed = seed
         self.generated = 0
         self.generated_cross = 0
+
+    def _next_tx_id(self, client: ClientId) -> str:
+        """Deterministic per-generator transaction id.
+
+        Unlike the process-global :func:`repro.txn.new_tx_id` counter,
+        ids derived from the generator's seed and its own sequence are
+        identical no matter how many runs preceded this one in the same
+        process — which is what makes a scenario's results bit-identical
+        between serial execution and a ``--jobs`` worker pool.  Generators
+        of one simulation get distinct seeds, so ids never collide.
+        """
+        return f"tx-{client}-s{self.seed}-{self.generated}"
 
     # ------------------------------------------------------------------
     # account selection
@@ -128,10 +141,12 @@ class WorkloadGenerator:
             shard = ShardId(self.rng.randrange(self.num_shards))
         source = self._pick_account(shard)
         destination = self._pick_account(shard, exclude=source)
+        client = self.owner_of(source)
         transaction = Transaction.multi_transfer(
-            client=self.owner_of(source),
+            client=client,
             transfers=[Transfer(source=source, destination=destination, amount=self._pick_amount())],
             timestamp=timestamp,
+            tx_id=self._next_tx_id(client),
         )
         self.generated += 1
         return transaction
@@ -152,10 +167,12 @@ class WorkloadGenerator:
             transfers.append(
                 Transfer(source=source, destination=destination, amount=self._pick_amount())
             )
+        client = self.owner_of(source)
         transaction = Transaction.multi_transfer(
-            client=self.owner_of(source),
+            client=client,
             transfers=transfers,
             timestamp=timestamp,
+            tx_id=self._next_tx_id(client),
         )
         self.generated += 1
         self.generated_cross += 1

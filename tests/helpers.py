@@ -43,6 +43,8 @@ class FakeHost:
         self.sent: list[SentMessage] = []
         self.decide_notifications = 0
         self.timers: list[FakeTimer] = []
+        #: simulated clock (ConsensusHost interface); tests may advance it.
+        self.now = 0.0
 
     # -- ConsensusHost interface ---------------------------------------
     def multicast_cluster(self, message: object) -> None:

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.common.metrics import LatencySample, MetricsCollector, summarize_latencies
+from repro.common.metrics import (
+    LatencySample,
+    MetricsCollector,
+    RunStats,
+    summarize_latencies,
+)
 
 
 class TestLatencySample:
@@ -63,3 +68,55 @@ class TestMetricsCollector:
         row = stats.as_dict()
         assert row["avg_latency_ms"] == pytest.approx(50.0)
         assert row["throughput_tps"] == stats.throughput
+
+def make_stats(duration=1.0, committed=10, cross=0, avg=0.1, aborted=0):
+    return RunStats(
+        duration=duration,
+        committed=committed,
+        aborted=aborted,
+        throughput=committed / duration,
+        avg_latency=avg,
+        p50_latency=avg,
+        p95_latency=avg * 2,
+        p99_latency=avg * 3,
+        avg_latency_intra=avg,
+        avg_latency_cross=avg * 4 if cross else 0.0,
+        committed_cross=cross,
+    )
+
+
+class TestRunStatsAggregate:
+    def test_single_run_is_returned_unchanged(self):
+        stats = make_stats()
+        assert RunStats.aggregate([stats]) is stats
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError):
+            RunStats.aggregate([])
+
+    def test_counts_sum_and_throughput_pools(self):
+        pooled = RunStats.aggregate(
+            [make_stats(duration=1.0, committed=10), make_stats(duration=1.0, committed=30)]
+        )
+        assert pooled.committed == 40
+        assert pooled.duration == pytest.approx(2.0)
+        assert pooled.throughput == pytest.approx(20.0)
+
+    def test_latencies_weighted_by_committed(self):
+        pooled = RunStats.aggregate(
+            [
+                make_stats(committed=10, avg=0.1),
+                make_stats(committed=30, avg=0.2),
+            ]
+        )
+        assert pooled.avg_latency == pytest.approx((10 * 0.1 + 30 * 0.2) / 40)
+
+    def test_cross_shard_latency_weighted_by_cross_count(self):
+        pooled = RunStats.aggregate(
+            [
+                make_stats(committed=10, cross=2, avg=0.1),
+                make_stats(committed=10, cross=6, avg=0.3),
+            ]
+        )
+        assert pooled.committed_cross == 8
+        assert pooled.avg_latency_cross == pytest.approx((2 * 0.4 + 6 * 1.2) / 8)

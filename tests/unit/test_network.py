@@ -71,6 +71,89 @@ class TestDelivery:
         assert sorted(payloads) == list(range(30))
 
 
+class TestMulticast:
+    """The shared-payload multicast primitive and its fault-path interaction."""
+
+    def test_fast_path_matches_per_send_latency_and_payload(self):
+        sim, network, nodes = make_net(latency=2e-3)
+        payload = ("shared", "payload")
+        sent = network.multicast(0, [1, 2], payload)
+        sim.run()
+        assert sent == 2
+        for node in nodes[1:]:
+            arrival, src, message = node.received[0]
+            assert arrival == pytest.approx(2e-3)
+            assert src == 0
+            assert message is payload  # one immutable object, not a copy
+
+    def test_multicast_consumes_rng_like_sequential_sends(self):
+        """Jitter draws happen per destination in destination order."""
+
+        def delays(use_multicast):
+            sim = Simulator(seed=9)
+            network = Network(sim, UniformLatencyModel(1e-3, jitter=1.0, rng=sim.rng))
+            nodes = [Recorder(pid, sim, network) for pid in range(4)]
+            if use_multicast:
+                network.multicast(0, [1, 2, 3], "m")
+            else:
+                for dst in (1, 2, 3):
+                    network.send(0, dst, "m")
+            sim.run()
+            return [node.received[0][0] for node in nodes[1:]]
+
+        assert delays(True) == delays(False)
+
+    def test_partition_drops_cross_group_multicast_only(self):
+        sim, network, nodes = make_net()
+        network.partition([[0, 1], [2]])
+        sent = network.multicast(0, [1, 2], "m")
+        sim.run()
+        assert sent == 1
+        assert [m for _, _, m in nodes[1].received] == ["m"]  # intra-partition
+        assert nodes[2].received == []  # across the partition
+        assert network.messages_dropped == 1
+
+    def test_heal_restores_multicast_fast_path(self):
+        sim, network, nodes = make_net()
+        network.partition([[0], [1, 2]])
+        assert network.multicast(0, [1, 2], "blocked") == 0
+        network.heal()
+        assert network.multicast(0, [1, 2], "after-heal") == 2
+        sim.run()
+        assert [m for _, _, m in nodes[1].received] == ["after-heal"]
+        assert [m for _, _, m in nodes[2].received] == ["after-heal"]
+
+    def test_severed_link_breaks_fast_path_per_destination(self):
+        sim, network, nodes = make_net()
+        network.disconnect(0, 2)
+        sent = network.multicast(0, [1, 2], "m")
+        sim.run()
+        assert sent == 1
+        assert nodes[1].received and not nodes[2].received
+
+    def test_multicast_drop_rate_applies_per_destination(self):
+        sim, network, nodes = make_net(drop_rate=0.5)
+        for _ in range(100):
+            network.multicast(0, [1, 2], "m")
+        sim.run()
+        delivered = len(nodes[1].received) + len(nodes[2].received)
+        assert 0 < delivered < 200
+        assert network.messages_dropped + network.messages_delivered == 200
+
+    def test_multicast_unknown_destination_raises(self):
+        sim, network, _ = make_net()
+        with pytest.raises(NetworkError):
+            network.multicast(0, [1, 99], "m")
+
+    def test_multicast_preserves_fifo_per_link(self):
+        sim, network, nodes = make_net(latency=1e-3, jitter=3.0)
+        for index in range(20):
+            network.multicast(0, [1, 2], index)
+        sim.run()
+        assert [m for _, _, m in nodes[1].received] == list(range(20))
+        assert [m for _, _, m in nodes[2].received] == list(range(20))
+
+
 class TestFaults:
     def test_drop_rate_loses_messages(self):
         sim, network, nodes = make_net(drop_rate=0.5)
@@ -106,6 +189,35 @@ class TestFaults:
         sim = Simulator()
         with pytest.raises(NetworkError):
             Network(sim, UniformLatencyModel(1e-3), drop_rate=1.5)
+
+
+class TestJitterSemantics:
+    """Jitter is a multiplicative fraction: base * (1 + U[0, jitter])."""
+
+    def test_uniform_jitter_is_multiplicative_and_bounded(self):
+        model = UniformLatencyModel(2e-3, jitter=0.5)
+        for _ in range(200):
+            delay = model.delay(0, 1)
+            assert 2e-3 <= delay <= 3e-3  # base * [1, 1.5]
+
+    def test_uniform_zero_jitter_is_exact(self):
+        model = UniformLatencyModel(2e-3)
+        assert model.delay(0, 1) == pytest.approx(2e-3)
+
+    def test_uniform_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(1e-3, jitter=-0.1)
+
+    def test_clustered_model_uses_same_convention(self):
+        perf = PerformanceModel(
+            intra_cluster_latency=1e-3,
+            cross_cluster_latency=4e-3,
+            latency_jitter=0.25,
+        )
+        model = ClusteredLatencyModel(perf, {0: 0, 1: 0, 2: 1})
+        for _ in range(200):
+            assert 1e-3 <= model.delay(0, 1) <= 1.25e-3
+            assert 4e-3 <= model.delay(0, 2) <= 5e-3
 
 
 class TestClusteredLatencyModel:

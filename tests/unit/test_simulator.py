@@ -80,6 +80,16 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.schedule_at(0.5, lambda: None)
 
+    def test_fired_timer_reports_inactive(self):
+        """Rolling timers re-arm on ``not timer.active``; a deadline that
+        already passed must not look pending — even when the callback
+        body was skipped by a crash guard."""
+        sim = Simulator()
+        timer = sim.set_timer(1.0, lambda: None)
+        assert timer.active
+        sim.run()
+        assert not timer.active
+
     def test_timers_can_be_cancelled(self):
         sim = Simulator()
         fired = []
@@ -114,3 +124,51 @@ class TestSimulator:
     def test_rng_is_seeded(self):
         assert Simulator(seed=42).rng.random() == Simulator(seed=42).rng.random()
         assert Simulator(seed=1).rng.random() != Simulator(seed=2).rng.random()
+
+
+class TestBulkScheduling:
+    def test_schedule_many_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [(2.0, fired.append, ("late",)), (1.0, fired.append, ("early",))]
+        )
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.processed_events == 2
+
+    def test_schedule_many_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(0.5, lambda: None, ())])
+
+    def test_schedule_many_interleaves_with_regular_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "handle")
+        sim.schedule_many([(1.0, fired.append, ("bulk-a",)), (2.0, fired.append, ("bulk-b",))])
+        sim.run()
+        assert fired == ["bulk-a", "handle", "bulk-b"]
+
+    def test_push_fast_events_cannot_be_distinguished_when_popped(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_fast(1.0, fired.append, ("fast",))
+        event = queue.pop()
+        event.fire()
+        assert fired == ["fast"]
+        assert event.cancelled  # firing consumes the event
+
+
+class TestEventsPerSecond:
+    def test_counter_tracks_fired_events_and_wall_time(self):
+        sim = Simulator()
+        for _ in range(100):
+            sim.schedule(0.1, lambda: None)
+        assert sim.events_per_second == 0.0
+        sim.run()
+        assert sim.processed_events == 100
+        assert sim.run_wall_time > 0.0
+        assert sim.events_per_second > 0.0
