@@ -12,11 +12,23 @@ Public entry points
 * :mod:`repro.api` — the unified experiment surface: declarative
   :class:`~repro.api.Scenario`, timed :class:`~repro.api.FaultSchedule`,
   and the pluggable system registry (:func:`~repro.api.register_system`).
+* :mod:`repro.adversary` — scripted Byzantine behaviours (equivocation,
+  silence, delays, tampering), the outbound message-interception hook,
+  and the cross-replica :class:`~repro.adversary.SafetyAuditor`.
 * :class:`repro.core.SharPerSystem` — build and run the paper's system.
 * :mod:`repro.baselines` — APR, Fast Paxos, FaB, and AHL comparison systems.
 * :mod:`repro.bench` — the harness regenerating every figure of the paper.
 """
 
+from .adversary import (
+    AdversaryBehavior,
+    SafetyAuditor,
+    SafetyReport,
+    available_behaviors,
+    get_behavior,
+    make_behavior,
+    register_behavior,
+)
 from .common import FaultModel, PerformanceModel, ProtocolTuning, SystemConfig
 from .core import SharPerSystem
 from .txn import Transaction, Transfer, WorkloadConfig, WorkloadGenerator
@@ -30,12 +42,15 @@ from .api import (
     register_system,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AdversaryBehavior",
     "DeploymentSpec",
     "FaultModel",
     "FaultSchedule",
+    "SafetyAuditor",
+    "SafetyReport",
     "PerformanceModel",
     "ProtocolTuning",
     "Scenario",
@@ -46,8 +61,12 @@ __all__ = [
     "Transfer",
     "WorkloadConfig",
     "WorkloadGenerator",
+    "available_behaviors",
     "available_systems",
+    "get_behavior",
     "get_system",
+    "make_behavior",
+    "register_behavior",
     "register_system",
     "__version__",
 ]

@@ -1,0 +1,60 @@
+"""Adversary subsystem: scripted Byzantine behaviour + safety auditing.
+
+The paper claims safety and liveness with up to ``f`` **Byzantine**
+replicas per cluster (Section 2.1); this package makes that claim
+testable instead of assumed:
+
+* :class:`MessageInterceptor` / :class:`Outbound` — the transport hook:
+  a per-process outbound filter that can drop, delay, duplicate, or
+  rewrite messages per destination (attached with
+  :meth:`repro.sim.process.Process.set_interceptor`).
+* the behaviour library — :class:`EquivocatingPrimary`,
+  :class:`SilentPrimary`, :class:`SelectiveSilence`,
+  :class:`DelayAttacker`, :class:`VoteWithholder`,
+  :class:`TamperedDigest` — each seeded, deterministic, and registered
+  by name (:func:`register_behavior` / :func:`get_behavior` /
+  :func:`make_behavior`).
+* :class:`SafetyAuditor` / :class:`SafetyReport` — post-run checks that
+  no two correct replicas forked, balances are conserved, and every
+  transaction executed at most once.
+
+Adversaries compose with crashes and partitions in one declarative
+schedule through :meth:`repro.api.FaultSchedule.make_byzantine` /
+:meth:`repro.api.FaultSchedule.restore`, and every shipped scenario is
+expected to pass the auditor with at most ``f`` Byzantine replicas per
+cluster — see ``examples/byzantine_attacks.py``.
+"""
+
+from .auditor import SafetyAuditor, SafetyReport
+from .behaviors import (
+    AdversaryBehavior,
+    DelayAttacker,
+    EquivocatingPrimary,
+    SelectiveSilence,
+    SilentPrimary,
+    TamperedDigest,
+    VoteWithholder,
+    available_behaviors,
+    get_behavior,
+    make_behavior,
+    register_behavior,
+)
+from .interceptor import MessageInterceptor, Outbound
+
+__all__ = [
+    "AdversaryBehavior",
+    "DelayAttacker",
+    "EquivocatingPrimary",
+    "MessageInterceptor",
+    "Outbound",
+    "SafetyAuditor",
+    "SafetyReport",
+    "SelectiveSilence",
+    "SilentPrimary",
+    "TamperedDigest",
+    "VoteWithholder",
+    "available_behaviors",
+    "get_behavior",
+    "make_behavior",
+    "register_behavior",
+]

@@ -1,0 +1,372 @@
+"""Scripted Byzantine behaviours (the adversary library).
+
+Each behaviour is a :class:`~repro.adversary.interceptor.MessageInterceptor`
+subclass implementing one classic attack against the paper's protocols
+(Sections 3.1–3.3), is fully deterministic for a ``seed``, and registers
+itself under a short name so schedules, the CLI (``--attack``), and the
+bench sweeps can select it by string — mirroring the system registry::
+
+    from repro.adversary import get_behavior, make_behavior
+
+    behavior = make_behavior("equivocating-primary", seed=3)
+    system.make_byzantine(node_id=0, behavior=behavior)
+
+Shipped behaviours:
+
+* ``equivocating-primary`` — sends *conflicting* pre-prepares to two
+  disjoint halves of the cluster's backups, so neither digest can gather
+  a ``2f + 1`` prepare quorum (classic equivocation; forces a view
+  change without ever forking the chain).
+* ``silent-primary`` — drops every outbound message (a "fail-silent"
+  node that is *not* crashed: it still receives, executes, and allocates
+  slots, but nothing it says reaches the network).
+* ``selective-silence`` — mutes traffic toward a chosen subset of peers
+  only, modelling a node that keeps some links alive to delay detection.
+* ``delay-attacker`` — holds every outbound message just under the
+  view-change timeout, the strongest attack that stays formally timely.
+* ``vote-withholder`` — suppresses only its prepare/commit/accept votes
+  while still proposing and executing, starving quorums of one voter.
+* ``tampered-digest`` — rewrites the digest carried by its votes, so
+  correct replicas can never match them into a quorum (equivalent to
+  withholding, but exercises the digest-checking paths).
+
+All behaviours are safe-by-construction targets for the
+:class:`~repro.adversary.auditor.SafetyAuditor`: with at most ``f``
+Byzantine replicas per cluster they may slow the system down or force
+view changes, but no correct replica ever forks, double-executes, or
+loses balance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import replace as dataclass_replace
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Type, TypeVar
+
+from ..common.errors import ConfigurationError, RegistrationError
+from ..consensus.log import Noop, item_digest
+from ..consensus.messages import (
+    CrossAccept,
+    CrossAcceptB,
+    CrossCommitB,
+    PaxosAccepted,
+    PBFTCommit,
+    Prepare,
+    PrePrepare,
+)
+from .interceptor import MessageInterceptor, Outbound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..sim.process import Process
+
+__all__ = [
+    "AdversaryBehavior",
+    "DelayAttacker",
+    "EquivocatingPrimary",
+    "SelectiveSilence",
+    "SilentPrimary",
+    "TamperedDigest",
+    "VoteWithholder",
+    "available_behaviors",
+    "get_behavior",
+    "make_behavior",
+    "register_behavior",
+]
+
+BehaviorT = TypeVar("BehaviorT", bound="type")
+
+#: name -> behaviour class; aliases map to the same class.
+_BEHAVIORS: dict[str, Type["AdversaryBehavior"]] = {}
+
+#: message types that are quorum votes (withheld / tampered with by the
+#: vote-targeting behaviours).  Proposals are deliberately excluded.
+VOTE_MESSAGE_TYPES: tuple[type, ...] = (
+    Prepare,
+    PBFTCommit,
+    PaxosAccepted,
+    CrossAccept,
+    CrossAcceptB,
+    CrossCommitB,
+)
+
+
+def _normalize(name: str) -> str:
+    key = name.strip().lower()
+    if not key:
+        raise RegistrationError("behavior names must be non-empty")
+    return key
+
+
+def register_behavior(
+    name: str, *, aliases: Iterable[str] = (), replace: bool = False
+) -> Callable[[BehaviorT], BehaviorT]:
+    """Class decorator registering an adversary behaviour under ``name``.
+
+    Same contract as :func:`repro.api.register_system`: re-registering
+    the identical class is a no-op; binding a name to a different class
+    raises unless ``replace=True``.
+    """
+    keys = [_normalize(name)] + [_normalize(alias) for alias in aliases]
+
+    def _same_class(a: type, b: type) -> bool:
+        return a is b or (a.__module__, a.__qualname__) == (b.__module__, b.__qualname__)
+
+    def decorator(cls: BehaviorT) -> BehaviorT:
+        for key in keys:
+            existing = _BEHAVIORS.get(key)
+            if existing is not None and not _same_class(existing, cls) and not replace:
+                raise RegistrationError(
+                    f"behavior name {key!r} is already registered to "
+                    f"{existing.__module__}.{existing.__qualname__}; "
+                    "pass replace=True to override"
+                )
+        for key in keys:
+            _BEHAVIORS[key] = cls
+        cls.registry_name = keys[0]
+        return cls
+
+    return decorator
+
+
+def get_behavior(name: str) -> Type["AdversaryBehavior"]:
+    """Look up a registered behaviour class by (case-insensitive) name."""
+    try:
+        return _BEHAVIORS[_normalize(name)]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adversary behavior {name!r}; choose from {sorted(_BEHAVIORS)}"
+        ) from None
+
+
+def available_behaviors() -> dict[str, Type["AdversaryBehavior"]]:
+    """A snapshot of the registry: sorted canonical name -> class."""
+    return {
+        name: cls
+        for name, cls in sorted(_BEHAVIORS.items())
+        if cls.registry_name == name
+    }
+
+
+def make_behavior(
+    behavior: "str | AdversaryBehavior", seed: int = 0, **kwargs: object
+) -> "AdversaryBehavior":
+    """Resolve a behaviour spec — a registry name or a ready instance.
+
+    Instances pass through untouched (their own seed wins); names are
+    instantiated with ``seed`` and any extra keyword arguments.
+    """
+    if isinstance(behavior, AdversaryBehavior):
+        return behavior
+    if isinstance(behavior, str):
+        return get_behavior(behavior)(seed=seed, **kwargs)
+    raise ConfigurationError(
+        f"behavior must be a registry name or an AdversaryBehavior, got {behavior!r}"
+    )
+
+
+class AdversaryBehavior(MessageInterceptor):
+    """Base class for scripted Byzantine behaviours.
+
+    Behaviours are seeded: every random choice (which peers to mute,
+    which half gets which equivocation) comes from ``self.rng``, so one
+    ``(scenario seed, behavior seed)`` pair replays bit-identically.
+    """
+
+    #: canonical registry name, set by :func:`register_behavior`.
+    registry_name = ""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    def cluster_peers(self) -> list[int]:
+        """Process ids of the host's cluster peers (host excluded), sorted.
+
+        Only meaningful once attached to a replica (a process exposing a
+        ``cluster`` attribute); generic processes have no peers.
+        """
+        process = self.process
+        cluster = getattr(process, "cluster", None)
+        if process is None or cluster is None:
+            return []
+        return sorted(int(node) for node in cluster.node_ids if int(node) != process.pid)
+
+    def describe(self) -> str:
+        """One-line account used by fault-event and CLI logging."""
+        return self.registry_name or type(self).__name__
+
+
+@register_behavior("silent-primary", aliases=("silent", "fail-silent"))
+class SilentPrimary(AdversaryBehavior):
+    """Drop every outbound message: a live node the network never hears.
+
+    Unlike a crash, the node keeps receiving and processing traffic (it
+    stays up to date and can be restored instantly); backups observe
+    missing pre-prepares/commits and trigger a view change by timeout.
+    """
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        return self.drop()
+
+
+@register_behavior("selective-silence", aliases=("mute-peers",))
+class SelectiveSilence(AdversaryBehavior):
+    """Mute traffic toward a chosen subset of peers only.
+
+    ``targets`` fixes the muted process ids explicitly; otherwise a
+    seeded sample of ``fraction`` of the host's cluster peers is drawn on
+    attach.  Keeping some links alive models an adversary that stays
+    under the detection radar of part of the cluster.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        targets: Sequence[int] | None = None,
+        fraction: float = 0.5,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.muted: set[int] = set(int(t) for t in targets) if targets is not None else set()
+        self._explicit = targets is not None
+
+    def attach(self, process: "Process") -> None:
+        super().attach(process)
+        if not self._explicit:
+            peers = self.cluster_peers()
+            count = max(1, round(len(peers) * self.fraction)) if peers else 0
+            self.muted = set(self.rng.sample(peers, count)) if count else set()
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if dst in self.muted:
+            return self.drop()
+        return self.pass_through()
+
+
+@register_behavior("delay-attacker", aliases=("delayer",))
+class DelayAttacker(AdversaryBehavior):
+    """Hold every outbound message just under the view-change timeout.
+
+    ``delay`` defaults to ``timeout_fraction`` of the host's
+    ``view_change_timeout`` (discovered on attach), i.e. the slowest a
+    node can act while still (just) never being suspected — the classic
+    performance attack on timeout-based fail-over.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay: float | None = None,
+        timeout_fraction: float = 0.9,
+    ) -> None:
+        super().__init__(seed)
+        if delay is not None and delay < 0:
+            raise ConfigurationError("delay must be non-negative")
+        if not 0.0 < timeout_fraction < 1.0:
+            raise ConfigurationError("timeout_fraction must be in (0, 1)")
+        self.delay = delay
+        self.timeout_fraction = timeout_fraction
+
+    def attach(self, process: "Process") -> None:
+        super().attach(process)
+        if self.delay is None:
+            timeout = getattr(process, "view_change_timeout", 0.5)
+            self.delay = timeout * self.timeout_fraction
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        return self.emit(Outbound(dst=dst, message=message, extra_delay=self.delay or 0.0))
+
+
+@register_behavior("vote-withholder", aliases=("withholder",))
+class VoteWithholder(AdversaryBehavior):
+    """Suppress quorum votes while behaving correctly otherwise.
+
+    Prepares, commits, Paxos accepted-acks, and cross-shard accept/commit
+    votes (:data:`VOTE_MESSAGE_TYPES`) are dropped; proposals, client
+    replies, forwards, and view-change traffic pass through.  With at
+    most ``f`` withholders per cluster, quorums of ``2f + 1`` out of
+    ``3f + 1`` still form from the correct replicas — the paper's
+    liveness bound exercised exactly at its edge.
+    """
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if type(message) in VOTE_MESSAGE_TYPES:
+            return self.drop()
+        return self.pass_through()
+
+
+@register_behavior("tampered-digest", aliases=("tamperer",))
+class TamperedDigest(AdversaryBehavior):
+    """Corrupt the digest carried by this node's quorum votes.
+
+    Correct replicas accumulate votes keyed on ``(view, slot, digest)``,
+    so a vote carrying a forged digest can never join a quorum for the
+    real proposal — behaviourally a withheld vote, but it drives the
+    digest-matching code paths a plain drop never touches.  The forged
+    digest is deterministic per (seed, original digest).
+    """
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if type(message) not in VOTE_MESSAGE_TYPES:
+            return self.pass_through()
+        digest = getattr(message, "digest", None)
+        if digest is None:
+            return self.pass_through()
+        forged = hashlib.sha256(f"tampered|{self.seed}|{digest}".encode()).hexdigest()
+        return self.emit(Outbound(dst=dst, message=dataclass_replace(message, digest=forged)))
+
+
+@register_behavior("equivocating-primary", aliases=("equivocator",))
+class EquivocatingPrimary(AdversaryBehavior):
+    """Send conflicting pre-prepares to two disjoint halves of the backups.
+
+    For every slot this node pre-prepares, one (seeded, per-slot) half of
+    the cluster's backups receives the real proposal and the other half
+    receives an internally consistent *conflicting* proposal (a no-op
+    with a distinct digest).  With ``3f + 1`` nodes neither digest can
+    reach ``2f + 1`` prepares — the primary's own vote counts only for
+    the real one — so the slot stalls, backups time out, and the view
+    change elects a correct primary.  No correct replica ever commits
+    either conflicting proposal, which is exactly the safety property
+    the :class:`~repro.adversary.auditor.SafetyAuditor` checks.
+
+    Non-proposal traffic passes through, so the attack is invisible
+    until the node becomes (or already is) a primary.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        #: (view, slot) -> (set of pids fed the fork, conflicting message).
+        self._forks: dict[tuple[int, int], tuple[set[int], PrePrepare]] = {}
+
+    def _fork_for(self, message: PrePrepare) -> tuple[set[int], PrePrepare]:
+        key = (message.view, message.slot)
+        fork = self._forks.get(key)
+        if fork is None:
+            peers = self.cluster_peers()
+            self.rng.shuffle(peers)
+            victims = set(peers[: max(1, len(peers) // 2)]) if peers else set()
+            alternate = Noop(
+                reason=f"equivocation-s{self.seed}-v{message.view}-slot{message.slot}"
+            )
+            forged = dataclass_replace(
+                message, digest=item_digest(alternate), item=alternate
+            )
+            fork = (victims, forged)
+            self._forks[key] = fork
+        return fork
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if type(message) is not PrePrepare:
+            return self.pass_through()
+        victims, forged = self._fork_for(message)
+        if dst in victims:
+            return self.emit(Outbound(dst=dst, message=forged))
+        return self.pass_through()

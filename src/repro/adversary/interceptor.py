@@ -1,0 +1,128 @@
+"""Message-level interception: the transport hook adversaries plug into.
+
+The paper's fault model (Section 2.1) allows up to ``f`` *Byzantine*
+replicas per cluster — nodes that may send conflicting messages, stay
+silent toward chosen peers, delay traffic, or corrupt payloads, while
+the transport still prevents identity spoofing (channels are pairwise
+authenticated).  This module provides the mechanism those behaviours are
+built from: a per-process **outbound** hook.
+
+A :class:`MessageInterceptor` attached to a process
+(:meth:`repro.sim.process.Process.set_interceptor`) sees every outgoing
+message once per destination and decides what actually goes on the wire:
+
+* ``None`` — pass the message through unchanged (the default);
+* ``[]`` — drop it (silence toward that destination);
+* one or more :class:`Outbound` actions — deliver rewritten payloads,
+  extra copies, and/or hold a copy back by ``extra_delay`` seconds.
+
+Interception is strictly outbound and per process, so the faultless fast
+path is untouched: a process without an interceptor takes exactly the
+pre-existing ``send``/``multicast`` code path (one ``is None`` check),
+consumes the seeded RNG identically, and stays bit-identical with runs
+recorded before this hook existed.  Receiver-side authentication is
+preserved — an interceptor can forge *content* but never the sender id
+the network hands to the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..sim.process import Process
+
+__all__ = ["Outbound", "MessageInterceptor"]
+
+
+@dataclass(frozen=True, slots=True)
+class Outbound:
+    """One concrete transmission an interceptor wants on the wire."""
+
+    #: destination process id (may differ from the intended one).
+    dst: int
+    #: the payload to deliver (the original or a rewritten copy).
+    message: object
+    #: extra seconds the copy is held back before departing the NIC.
+    extra_delay: float = 0.0
+
+
+class MessageInterceptor:
+    """Base class for outbound message interceptors.
+
+    Subclasses override :meth:`outbound`.  The base implementation passes
+    everything through, so a bare ``MessageInterceptor()`` is a behavioural
+    no-op (useful for testing that the hook itself does not perturb runs).
+
+    Interceptors are attached to exactly one process at a time; ``attach``
+    gives them access to the host for topology introspection (cluster
+    membership, tuning knobs) and ``detach`` is called when the node is
+    restored to correct behaviour.
+    """
+
+    def __init__(self) -> None:
+        self.process: "Process | None" = None
+        #: messages seen (one count per destination of a multicast).
+        self.seen = 0
+        #: messages passed through unchanged.
+        self.passed = 0
+        #: messages suppressed entirely.
+        self.dropped = 0
+        #: replacement/extra transmissions emitted.
+        self.injected = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, process: "Process") -> None:
+        """Bind the interceptor to the process whose traffic it filters."""
+        self.process = process
+
+    def detach(self) -> None:
+        """Unbind from the host process (node restored)."""
+        self.process = None
+
+    def __getstate__(self) -> dict:
+        # The host attachment is per-run runtime state: it must not drag
+        # a live system across pickling (scenarios carrying behaviour
+        # instances ship to --jobs workers) or deep copies.
+        state = self.__dict__.copy()
+        state["process"] = None
+        return state
+
+    # ------------------------------------------------------------------
+    # the hook
+    # ------------------------------------------------------------------
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        """Decide what to transmit for one (destination, message) pair.
+
+        Return ``None`` to pass the original through unchanged, an empty
+        sequence to drop it, or a sequence of :class:`Outbound` actions to
+        emit instead (rewrites, duplicates, delayed copies).
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def pass_through(self) -> None:
+        """Record and return the pass-through verdict."""
+        self.passed += 1
+        return None
+
+    def drop(self) -> Sequence[Outbound]:
+        """Record and return the drop verdict."""
+        self.dropped += 1
+        return ()
+
+    def emit(self, *actions: Outbound) -> Sequence[Outbound]:
+        """Record and return replacement transmissions."""
+        self.injected += len(actions)
+        return actions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} seen={self.seen} passed={self.passed} "
+            f"dropped={self.dropped} injected={self.injected}>"
+        )

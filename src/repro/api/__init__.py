@@ -6,8 +6,8 @@ reproduction:
 * :class:`Scenario` / :class:`DeploymentSpec` — declare *what* to run
   (system, topology, workload, client mix, duration) and let
   :meth:`Scenario.run` own the lifecycle.
-* :class:`FaultSchedule` — declare timed faults (crashes, partitions)
-  executed as simulator events during the run.
+* :class:`FaultSchedule` — declare timed faults (crashes, partitions,
+  Byzantine adversaries) executed as simulator events during the run.
 * :func:`register_system` / :func:`get_system` — the pluggable registry
   that maps short names (``"sharper"``, ``"ahl"``, …) to system classes;
   third-party systems plug in with the same decorator the built-ins use.
@@ -24,8 +24,11 @@ from .faults import (
     FaultEvent,
     FaultSchedule,
     Heal,
+    MakeByzantine,
+    MakePrimaryByzantine,
     PartitionClusters,
     RecoverNode,
+    RestoreNode,
 )
 from .registry import available_systems, get_system, register_system, unregister_system
 from .result import ScenarioResult
@@ -38,8 +41,11 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "Heal",
+    "MakeByzantine",
+    "MakePrimaryByzantine",
     "PartitionClusters",
     "RecoverNode",
+    "RestoreNode",
     "Scenario",
     "ScenarioResult",
     "available_systems",

@@ -8,26 +8,33 @@ happens when* up front::
     faults = (
         FaultSchedule()
         .crash_primary(at=0.05, cluster=0)
+        .make_byzantine(at=0.08, node=4, behavior="equivocating-primary")
         .partition(at=0.10, groups=[[0], [1, 2, 3]])
         .heal(at=0.15)
+        .restore(at=0.20, node=4)
     )
 
 and :meth:`FaultSchedule.arm` turns every event into a simulator event,
 so a single ``sim.run`` drives the whole scenario.  Events operate on
 the :class:`~repro.core.system.BaseSystem` fault-injection surface
-(``crash_node``/``recover_node``/``crash_primary``) and the network's
-partition primitives, so they work against every registered system.
+(``crash_node``/``recover_node``/``crash_primary``/``make_byzantine``)
+and the network's partition primitives, so they work against every
+registered system — and adversaries (:mod:`repro.adversary`) compose
+with crashes and partitions in the same declarative schedule.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from weakref import WeakSet
 
 from ..common.errors import ConfigurationError
 from ..common.types import ClusterId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..adversary import AdversaryBehavior
     from ..core.system import BaseSystem
 
 __all__ = [
@@ -36,8 +43,11 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "Heal",
+    "MakeByzantine",
+    "MakePrimaryByzantine",
     "PartitionClusters",
     "RecoverNode",
+    "RestoreNode",
 ]
 
 
@@ -141,6 +151,59 @@ class Heal(FaultEvent):
         return f"heal network @ t={self.time:.3f}s"
 
 
+@dataclass(frozen=True)
+class MakeByzantine(FaultEvent):
+    """Attach an adversary behaviour to one replica (it keeps running).
+
+    ``behavior`` is a :mod:`repro.adversary` registry name or a ready
+    :class:`~repro.adversary.AdversaryBehavior` instance.
+    """
+
+    #: marker consulted by :meth:`repro.api.Scenario.run` to decide
+    #: whether the cross-replica safety audit is warranted.
+    adversarial = True
+
+    node_id: int = 0
+    behavior: "str | AdversaryBehavior" = "silent-primary"
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.make_byzantine(self.node_id, self.behavior)
+
+    def describe(self) -> str:
+        label = self.behavior if isinstance(self.behavior, str) else self.behavior.describe()
+        return f"make node {self.node_id} byzantine ({label}) @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class MakePrimaryByzantine(FaultEvent):
+    """Attach an adversary behaviour to the initial primary of a cluster."""
+
+    adversarial = True
+
+    cluster: int = 0
+    behavior: "str | AdversaryBehavior" = "silent-primary"
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.make_primary_byzantine(ClusterId(self.cluster), self.behavior)
+
+    def describe(self) -> str:
+        label = self.behavior if isinstance(self.behavior, str) else self.behavior.describe()
+        return f"make primary of cluster p{self.cluster} byzantine ({label}) @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class RestoreNode(FaultEvent):
+    """Restore a Byzantine replica to correct behaviour (detach adversary)."""
+
+    node_id: int = 0
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.restore_node(self.node_id)
+
+    def describe(self) -> str:
+        return f"restore node {self.node_id} @ t={self.time:.3f}s"
+
+
 class FaultSchedule:
     """An ordered collection of :class:`FaultEvent` with a fluent builder.
 
@@ -152,14 +215,22 @@ class FaultSchedule:
 
     def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
         self._events: list[FaultEvent] = sorted(events, key=lambda event: event.time)
+        #: systems this schedule was already armed on (arm guard); weak
+        #: references, so a collected system never blocks a new one that
+        #: happens to reuse its memory address.
+        self._armed_on: "WeakSet[BaseSystem]" = WeakSet()
 
     # ------------------------------------------------------------------
     # builder surface
     # ------------------------------------------------------------------
     def add(self, event: FaultEvent) -> "FaultSchedule":
-        """Append one event (kept sorted by time)."""
-        self._events.append(event)
-        self._events.sort(key=lambda item: item.time)
+        """Insert one event, keeping the list sorted by time.
+
+        Uses a binary insertion (``bisect.insort``) instead of re-sorting
+        the whole list on every append; ties keep insertion order, which
+        ``list.sort`` (stable) also guaranteed.
+        """
+        insort(self._events, event, key=lambda item: item.time)
         return self
 
     def crash_node(self, at: float, node_id: int) -> "FaultSchedule":
@@ -183,13 +254,51 @@ class FaultSchedule:
         """Heal all partitions and severed links at time ``at``."""
         return self.add(Heal(time=at))
 
+    def make_byzantine(
+        self, at: float, node: int, behavior: "str | AdversaryBehavior" = "silent-primary"
+    ) -> "FaultSchedule":
+        """Attach an adversary behaviour to replica ``node`` at time ``at``."""
+        return self.add(MakeByzantine(time=at, node_id=node, behavior=behavior))
+
+    def make_primary_byzantine(
+        self, at: float, cluster: int, behavior: "str | AdversaryBehavior" = "silent-primary"
+    ) -> "FaultSchedule":
+        """Attach an adversary behaviour to ``cluster``'s initial primary."""
+        return self.add(MakePrimaryByzantine(time=at, cluster=cluster, behavior=behavior))
+
+    def restore(self, at: float, node: int) -> "FaultSchedule":
+        """Restore Byzantine replica ``node`` to correct behaviour at ``at``."""
+        return self.add(RestoreNode(time=at, node_id=node))
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def arm(self, system: "BaseSystem") -> None:
-        """Schedule every event on ``system``'s simulator."""
+        """Schedule every event on ``system``'s simulator.
+
+        Arming is idempotent per system: arming the same schedule twice
+        on one system is a no-op (double-arming would apply every fault
+        twice — crash/heal pairs would still work, but adversary and
+        partition events would misbehave).  Arming on a *different*
+        system schedules normally, so one schedule can drive several
+        deployments.
+        """
+        if system in self._armed_on:
+            return
+        self._armed_on.add(system)
         for event in self._events:
             system.sim.schedule_at(event.time, event.apply, system)
+
+    # ------------------------------------------------------------------
+    # pickling (schedules ride inside scenarios shipped to --jobs workers;
+    # the arm guard is per-process runtime state and does not travel)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"_events": self._events}
+
+    def __setstate__(self, state: dict) -> None:
+        self._events = state["_events"]
+        self._armed_on = WeakSet()
 
     # ------------------------------------------------------------------
     # introspection

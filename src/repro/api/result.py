@@ -13,6 +13,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from ..adversary.auditor import SafetyReport
 from ..common.errors import ValidationError
 from ..common.metrics import RunStats
 from ..common.types import ClusterId
@@ -50,6 +51,9 @@ class ScenarioResult:
     #: observed and expected total balance (None when verification skipped).
     total_balance: int | None = None
     expected_balance: int | None = None
+    #: cross-replica safety audit under adversaries (None when skipped —
+    #: see :attr:`repro.api.Scenario.audit_safety`).
+    safety: SafetyReport | None = None
 
     # ------------------------------------------------------------------
     # detachment (multiprocessing support)
@@ -77,14 +81,17 @@ class ScenarioResult:
 
     @property
     def ok(self) -> bool:
-        """Audit passed (or was skipped) and balances are conserved."""
+        """Audits passed (or were skipped) and balances are conserved."""
         audit_ok = self.audit.ok if self.audit is not None else True
-        return audit_ok and self.balance_conserved
+        safety_ok = self.safety.ok if self.safety is not None else True
+        return audit_ok and safety_ok and self.balance_conserved
 
     def raise_if_failed(self) -> None:
-        """Raise if the audit failed or balances were not conserved."""
+        """Raise if any audit failed or balances were not conserved."""
         if self.audit is not None:
             self.audit.raise_if_failed()
+        if self.safety is not None:
+            self.safety.raise_if_failed()
         if not self.balance_conserved:
             raise ValidationError(
                 f"balance not conserved: have {self.total_balance}, "
@@ -112,6 +119,7 @@ class ScenarioResult:
             "clients": self.scenario.clients,
             **self.stats.as_dict(),
             "audit_ok": self.audit.ok if self.audit is not None else None,
+            "safety_ok": self.safety.ok if self.safety is not None else None,
             "balance_conserved": self.balance_conserved,
         }
         for cluster_id in sorted(self.chain_heights):
@@ -137,4 +145,6 @@ class ScenarioResult:
         if self.audit is not None:
             lines.append(f"audit      : {'OK' if self.audit.ok else self.audit.problems}")
             lines.append(f"balance    : {'conserved' if self.balance_conserved else 'VIOLATED'}")
+        if self.safety is not None:
+            lines.append(f"safety     : {'OK' if self.safety.ok else self.safety.problems}")
         return "\n".join(lines)

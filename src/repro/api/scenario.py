@@ -107,6 +107,12 @@ class Scenario:
     faults: FaultSchedule = field(default_factory=FaultSchedule)
     #: drain, audit, and check balance conservation after measuring.
     verify: bool = True
+    #: run the cross-replica :class:`~repro.adversary.SafetyAuditor`
+    #: after draining.  ``None`` (the default) audits automatically
+    #: whenever the fault schedule contains adversary events, so
+    #: faultless benchmark sweeps pay nothing; set ``True``/``False`` to
+    #: force either way.  Requires ``verify``.
+    audit_safety: bool | None = None
 
     @property
     def label(self) -> str:
@@ -123,6 +129,18 @@ class Scenario:
     def with_faults(self, faults: FaultSchedule) -> "Scenario":
         """A copy of this scenario with a different fault schedule."""
         return dataclasses.replace(self, faults=faults)
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """A copy of this scenario with a different simulation seed."""
+        return dataclasses.replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # adversary integration
+    # ------------------------------------------------------------------
+    @property
+    def has_adversary(self) -> bool:
+        """Whether the fault schedule injects Byzantine behaviour."""
+        return any(getattr(event, "adversarial", False) for event in self.faults)
 
     # ------------------------------------------------------------------
     # execution
@@ -160,12 +178,19 @@ class Scenario:
         self.faults.arm(system)
         end = system.sim.run(until=self.duration)
         stats = metrics.finalize(end)
-        idle_time = audit = total = expected = None
+        idle_time = audit = total = expected = safety = None
         if self.verify:
             idle_time = system.drain(self.drain_grace)
             audit = system.audit()
             total = system.total_balance()
             expected = system.expected_total_balance()
+            run_safety = (
+                self.audit_safety
+                if self.audit_safety is not None
+                else self.has_adversary
+            )
+            if run_safety:
+                safety = system.safety_audit()
         heights = {
             cluster_id: view.height for cluster_id, view in system.views().items()
         }
@@ -179,6 +204,7 @@ class Scenario:
             chain_heights=heights,
             total_balance=total,
             expected_balance=expected,
+            safety=safety,
         )
 
 

@@ -16,10 +16,12 @@ List every reproducible figure and every registered system::
     sharper-bench --list-systems
 
 Run a declarative scenario — any registered system, any workload mix,
-optionally crashing a primary mid-run::
+optionally crashing a primary or turning it Byzantine mid-run::
 
     sharper-bench --scenario sharper --cross-shard 0.2 --clients 32
     sharper-bench --scenario ahl --byzantine --crash-primary-at 0.1
+    sharper-bench --scenario sharper --byzantine --attack equivocating-primary
+    sharper-bench --list-attacks
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..adversary import available_behaviors
 from ..api import DeploymentSpec, FaultSchedule, Scenario, available_systems
 from ..common.errors import SharPerError
 from ..common.types import FaultModel
@@ -46,6 +49,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list", action="store_true", help="list available figures and exit")
     parser.add_argument(
         "--list-systems", action="store_true", help="list registered systems and exit"
+    )
+    parser.add_argument(
+        "--list-attacks", action="store_true",
+        help="list registered adversary behaviors and exit",
     )
     parser.add_argument("--full", action="store_true", help="use the full client sweep")
     parser.add_argument(
@@ -94,6 +101,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--crash-cluster", type=int, default=0, metavar="C",
         help="scenario: which cluster's primary to crash (default 0)",
     )
+    scenario.add_argument(
+        "--attack", metavar="NAME", default=None,
+        help="scenario: turn a cluster primary Byzantine with this adversary "
+        "behavior (registry name, see --list-attacks)",
+    )
+    scenario.add_argument(
+        "--attack-at", type=float, default=0.05, metavar="T",
+        help="scenario: simulated time at which the adversary activates (default 0.05)",
+    )
+    scenario.add_argument(
+        "--attack-cluster", type=int, default=0, metavar="C",
+        help="scenario: which cluster's primary turns Byzantine (default 0)",
+    )
     return parser
 
 
@@ -101,6 +121,10 @@ def _run_scenario(args: argparse.Namespace) -> int:
     faults = FaultSchedule()
     if args.crash_primary_at is not None:
         faults.crash_primary(at=args.crash_primary_at, cluster=args.crash_cluster)
+    if args.attack is not None:
+        faults.make_primary_byzantine(
+            at=args.attack_at, cluster=args.attack_cluster, behavior=args.attack
+        )
     fault_model = FaultModel.BYZANTINE if args.byzantine else FaultModel.CRASH
     if faults and not args.quiet:
         for event in faults:
@@ -135,6 +159,12 @@ def main(argv: list[str] | None = None) -> int:
         print("registered systems:")
         for name, system_cls in available_systems().items():
             print(f"  {name:10s} {system_cls.__module__}.{system_cls.__qualname__}")
+        return 0
+    if args.list_attacks:
+        print("registered adversary behaviors:")
+        for name, behavior_cls in available_behaviors().items():
+            blurb = (behavior_cls.__doc__ or behavior_cls.__name__).strip().splitlines()[0]
+            print(f"  {name:22s} {blurb}")
         return 0
     if args.scenario:
         if args.figures or args.csv or args.full or args.jobs != 1 or args.seeds != 1:

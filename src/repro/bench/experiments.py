@@ -25,7 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from ..adversary import available_behaviors
+from ..api import DeploymentSpec, FaultSchedule, Scenario, ScenarioResult, run_scenarios
 from ..common.types import FaultModel
+from ..txn.workload import WorkloadConfig
 from .harness import Curve, ExperimentSpec, run_curve
 
 __all__ = [
@@ -35,6 +38,9 @@ __all__ = [
     "FIGURES",
     "QUICK_CLIENTS",
     "FULL_CLIENTS",
+    "ATTACK_CROSS_FRACTIONS",
+    "attack_scenario",
+    "run_attack_sweep",
     "run_figure",
     "list_figures",
 ]
@@ -180,6 +186,90 @@ FIGURES: dict[str, FigureSpec] = {
 def list_figures() -> list[str]:
     """Identifiers of every reproducible figure."""
     return sorted(FIGURES)
+
+
+# ----------------------------------------------------------------------
+# adversary sweeps (attack type × cross-shard fraction)
+# ----------------------------------------------------------------------
+
+#: cross-shard fractions the adversary sweep exercises by default.
+ATTACK_CROSS_FRACTIONS: tuple[float, ...] = (0.0, 0.2)
+
+
+def attack_scenario(
+    behavior: str,
+    cross_shard_fraction: float = 0.0,
+    num_clusters: int = 2,
+    clients: int = 12,
+    duration: float = 0.5,
+    warmup: float = 0.06,
+    seed: int = 1,
+    at: float = 0.05,
+    cluster: int = 0,
+    accounts_per_shard: int = 128,
+) -> Scenario:
+    """One Byzantine SharPer deployment attacked by a named behaviour.
+
+    The primary of ``cluster`` turns Byzantine at time ``at`` — one
+    adversary per cluster, i.e. exactly the paper's ``f = 1`` bound —
+    and the run is verified end to end, including the cross-replica
+    :class:`~repro.adversary.SafetyAuditor` (armed automatically because
+    the schedule contains an adversary event).
+    """
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=FaultModel.BYZANTINE,
+            num_clusters=num_clusters,
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_shard_fraction,
+            accounts_per_shard=accounts_per_shard,
+        ),
+        name=f"{behavior} @ {cross_shard_fraction:.0%} cross-shard",
+        clients=clients,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        faults=FaultSchedule().make_primary_byzantine(at=at, cluster=cluster, behavior=behavior),
+    )
+
+
+def run_attack_sweep(
+    behaviors: Sequence[str] | None = None,
+    cross_fractions: Sequence[float] = ATTACK_CROSS_FRACTIONS,
+    seeds: Sequence[int] = (1, 2, 3),
+    num_clusters: int = 2,
+    clients: int = 12,
+    duration: float = 0.5,
+    warmup: float = 0.06,
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[ScenarioResult]:
+    """Sweep attack type × cross-shard fraction × seed under SharPer.
+
+    Every point runs with at most ``f`` Byzantine replicas per cluster
+    and must pass the safety audit; use :func:`repro.api.run_scenarios`
+    semantics (``jobs`` parallelises, results come back in input order:
+    behaviour-major, then fraction, then seed).  ``behaviors`` defaults
+    to every registered adversary behaviour.
+    """
+    names = list(behaviors) if behaviors is not None else sorted(available_behaviors())
+    scenarios = [
+        attack_scenario(
+            behavior,
+            cross_shard_fraction=fraction,
+            num_clusters=num_clusters,
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+        )
+        for behavior in names
+        for fraction in cross_fractions
+        for seed in seeds
+    ]
+    return run_scenarios(scenarios, jobs=jobs, progress=progress)
 
 
 def run_figure(

@@ -99,6 +99,8 @@ class OrderingLog:
         self._next_slot = 1
         self._next_apply = 1
         self._decided_digests: dict[str, int] = {}
+        self._pending_digests: dict[str, int] = {}
+        self._blocked_decisions = 0
 
     # ------------------------------------------------------------------
     # slot allocation
@@ -146,24 +148,41 @@ class OrderingLog:
     ) -> LogEntry:
         """Record that ``item`` was accepted for ``slot`` (not yet decided).
 
-        A slot accepts only one digest; re-recording the same digest is
-        idempotent, recording a different digest for an undecided slot
-        raises (the caller decides how to resolve the conflict — in the
-        normal case it simply refuses to vote for the second proposal).
+        Within one view a slot accepts only one digest: re-recording the
+        same digest is idempotent, and recording a different digest for
+        an undecided slot raises (the caller decides how to resolve the
+        conflict — in the normal case it simply refuses to vote for the
+        second proposal).  A proposal carrying a strictly *higher* view
+        supersedes a stale pending entry, as in PBFT: after a view
+        change the new primary may legitimately re-propose a different
+        item for a slot an equivocating old primary poisoned, and
+        replicas must be able to accept it (otherwise one equivocation
+        would wedge the slot forever).  Decided slots never change
+        digest.
         """
         if slot >= self._next_slot:  # inline observe()
             self._next_slot = slot + 1
         existing = self._entries.get(slot)
         if existing is not None:
-            if existing.digest != digest and existing.status is not EntryStatus.PENDING:
+            if existing.digest == digest:
+                return existing
+            if existing.status is not EntryStatus.PENDING:
                 raise ConsensusError(
                     f"slot {slot} already {existing.status.value} with a different digest"
                 )
-            if existing.digest == digest:
+            if view > existing.view:
+                if self._pending_digests.get(existing.digest) == slot:
+                    del self._pending_digests[existing.digest]
+                existing.digest = digest
+                existing.item = item
+                existing.view = view
+                existing.proposer = proposer
+                self._pending_digests.setdefault(digest, slot)
                 return existing
             raise ConsensusError(f"slot {slot} already holds a different pending digest")
         entry = LogEntry(slot=slot, digest=digest, item=item, view=view, proposer=proposer)
         self._entries[slot] = entry
+        self._pending_digests.setdefault(digest, slot)
         return entry
 
     def decide(
@@ -191,6 +210,7 @@ class OrderingLog:
                     f"slot {slot} decided twice with different digests (fork)"
                 )
             return existing
+        self._blocked_decisions += 1
         if existing is not None and existing.digest == digest:
             # Promote the pending entry in place (the common path: the
             # accept/pre-prepare already recorded it) instead of
@@ -212,12 +232,32 @@ class OrderingLog:
                 view=view,
             )
             self._entries[slot] = entry
+        if existing is not None and existing.digest != digest:
+            # The pending proposal for this slot lost; drop its index
+            # entry so its initiator may retry at another slot.
+            if self._pending_digests.get(existing.digest) == slot:
+                del self._pending_digests[existing.digest]
+        self._pending_digests.pop(digest, None)
         self._decided_digests[digest] = slot
         return entry
 
     def decided_slot_of(self, digest: str) -> int | None:
         """Slot at which ``digest`` was decided, if it was."""
         return self._decided_digests.get(digest)
+
+    def slot_of(self, digest: str) -> int | None:
+        """Slot holding ``digest``, decided *or* still in flight.
+
+        Primaries consult this before ordering a client retry: a request
+        that is already decided (but perhaps not yet applied, so
+        ``chain.contains_tx`` is still false) or still pending in some
+        slot must not be allocated a second one — committing the same
+        transaction at two slots would violate at-most-once execution.
+        """
+        slot = self._decided_digests.get(digest)
+        if slot is not None:
+            return slot
+        return self._pending_digests.get(digest)
 
     def is_applied(self, slot: int) -> bool:
         """Whether ``slot`` has been executed and appended."""
@@ -241,7 +281,20 @@ class OrderingLog:
             entry.status = EntryStatus.APPLIED
             ready.append(entry)
             self._next_apply += 1
+        self._blocked_decisions -= len(ready)
         return ready
+
+    @property
+    def blocked_decisions(self) -> int:
+        """Number of decided slots that cannot apply yet (gap below them).
+
+        Non-zero means some lower slot is missing or undecided — briefly
+        normal while instances pipeline, but *persistently* non-zero is
+        the signature of a primary withholding sequence numbers (e.g. a
+        muted primary whose pre-prepares never reached the backups while
+        cross-shard slots kept deciding above the gap).
+        """
+        return self._blocked_decisions
 
     # ------------------------------------------------------------------
     # introspection (view change support, tests)

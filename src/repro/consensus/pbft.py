@@ -94,6 +94,11 @@ class PBFTEngine(ConsensusEngine):
         )
         self.host.multicast_cluster(prepare)
         self._record_prepare_vote(key, self.host.node_id)
+        # As in PBFT, the pre-prepare doubles as the primary's prepare
+        # vote at every backup (the primary never multicasts a separate
+        # Prepare).  Without this a cluster of 3f + 1 with one silent
+        # replica can never assemble a 2f + 1 prepare quorum at backups.
+        self._record_prepare_vote(key, src)
 
     def _on_prepare(self, message: Prepare, src: int) -> None:
         key = (message.view, message.slot, message.digest)

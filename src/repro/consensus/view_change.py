@@ -198,19 +198,40 @@ class ViewChangeManager:
                 candidates[slot][digest] += 1
                 items_by_digest[digest] = item
 
+        spans_clusters = getattr(host, "spans_clusters", None)
         for slot in range(host.log.next_apply, highest + 1):
             entry = host.log.entry(slot)
             if entry is not None and entry.status is not EntryStatus.PENDING:
                 continue
             if slot in decided_digest and decided_digest[slot] in items_by_digest:
                 item = items_by_digest[decided_digest[slot]]
-            elif entry is not None:
-                item = entry.item
-            elif candidates.get(slot):
-                best_digest, _ = candidates[slot].most_common(1)[0]
-                item = items_by_digest[best_digest]
+                if spans_clusters is not None and spans_clusters(item):
+                    # Some replica reported this slot DECIDED as a
+                    # cross-shard instance: its all-to-all commit (with
+                    # the full position vector) is still in flight to
+                    # us.  Re-proposing anything here — the item (which
+                    # would intra-ize it) or a no-op — would conflict
+                    # with that decision and fork correct replicas.
+                    # Leave the slot alone; the late commit decides it.
+                    continue
             else:
-                item = Noop(reason=f"view-change-{view}-slot-{slot}")
+                if entry is not None:
+                    item = entry.item
+                elif candidates.get(slot):
+                    best_digest, _ = candidates[slot].most_common(1)[0]
+                    item = items_by_digest[best_digest]
+                else:
+                    item = Noop(reason=f"view-change-{view}-slot-{slot}")
+                if spans_clusters is not None and spans_clusters(item):
+                    # A merely *pending* cross-shard request must not be
+                    # re-proposed through intra-shard consensus:
+                    # committing it with a single-cluster position
+                    # vector would execute only the local transfers and
+                    # silently break cross-shard atomicity (money
+                    # minted or lost).  Fill the slot with a no-op; the
+                    # undecided instance dies and the client's retry
+                    # runs a fresh, fully-positioned one.
+                    item = Noop(reason=f"view-change-{view}-cross-slot-{slot}")
             host.log.observe(slot)
             self.engine.propose_at(slot, item)
 

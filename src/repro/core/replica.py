@@ -83,6 +83,8 @@ class SharPerReplica(Process):
         self.committed_cross_count = 0
         self.failed_executions = 0
         self.forwarded_requests = 0
+        #: rolling withheld-sequence-number timer (see _monitor_gap).
+        self._gap_timer = None
         # Table-driven dispatch: merge the engines' handler tables into the
         # process-level table once, so delivery is a single dict lookup
         # (the message sets of the two engines are disjoint).
@@ -131,6 +133,17 @@ class SharPerReplica(Process):
         """Clusters whose shards ``transaction`` accesses."""
         return sharding.involved_clusters(transaction, self.mapper)
 
+    def spans_clusters(self, item: object) -> bool:
+        """Whether an ordered item is a cross-shard client request.
+
+        Used by the view-change manager to keep cross-shard instances
+        out of intra-shard re-proposals (see
+        :meth:`~repro.consensus.view_change.ViewChangeManager._install_as_primary`).
+        """
+        if isinstance(item, ClientRequest):
+            return len(self.involved_clusters_of(item.transaction)) > 1
+        return False
+
     # ------------------------------------------------------------------
     # ConsensusHost / cross-shard host interface
     # ------------------------------------------------------------------
@@ -168,7 +181,14 @@ class SharPerReplica(Process):
             self._forward(request, self.primary_pid_of(target))
             return
         if not self.is_cluster_primary:
+            self._monitor_forwarded_request(request)
             self._forward(request, self.primary_pid_of(self.cluster_id))
+            return
+        if self.log.slot_of(item_digest(request)) is not None:
+            # Retry of a request already ordered (or in flight) here:
+            # allocating a second slot would commit the transaction
+            # twice.  Once the first slot applies, the duplicate check
+            # in _on_client_request answers the client's next retry.
             return
         self.intra.submit(request)
 
@@ -185,6 +205,7 @@ class SharPerReplica(Process):
             self._forward(request, self.primary_pid_of(initiator))
             return
         if not self.is_cluster_primary:
+            self._monitor_forwarded_request(request)
             self._forward(request, self.primary_pid_of(self.cluster_id))
             return
         self.cross.start(request)
@@ -195,13 +216,82 @@ class SharPerReplica(Process):
         self.forwarded_requests += 1
         self.send(destination, request)
 
+    def _monitor_forwarded_request(self, request: ClientRequest) -> None:
+        """PBFT's request timer: relay to the primary, then watch it.
+
+        A backup that hands a client request to its cluster primary
+        starts a timer; if the transaction has not committed when it
+        fires — and the view has not rotated in the meantime — the
+        primary is suspected.  This is what makes a *silent* (muted, not
+        crashed) primary lose its seat: a mute primary leaves no pending
+        pre-prepares to monitor, so without a request-level timer the
+        backups would never have a reason to suspect it.  Fault-free
+        runs never take this path (clients route straight to primaries),
+        so the fast path is untouched.
+        """
+        self.set_timer(
+            self.view_change_timeout,
+            self._check_forwarded_request,
+            request.transaction.tx_id,
+            self.intra.view,
+        )
+
+    def _check_forwarded_request(self, tx_id: str, view_at_forward: int) -> None:
+        if self.chain.contains_tx(tx_id):
+            return
+        if self.intra.view != view_at_forward:
+            # Already failed over; the client's retry re-arms monitoring.
+            return
+        self.intra.view_change.suspect_primary()
+
     # ------------------------------------------------------------------
     # applying decided slots
     # ------------------------------------------------------------------
     def after_decide(self) -> None:
         """Apply every decided slot that is next in line (in slot order)."""
-        for entry in self.log.pop_applicable():
+        log = self.log
+        for entry in log.pop_applicable():
             self._apply(entry)
+        # Inlined blocked_decisions read and timer guard: this runs once
+        # per decide, on the hottest protocol path in the repo, and the
+        # gap timer is almost always already armed while pipelining.
+        if log._blocked_decisions and self._gap_timer is None:
+            self._monitor_gap()
+
+    def _monitor_gap(self) -> None:
+        """Watch decided-but-blocked slots (withheld sequence numbers).
+
+        A decided slot that cannot apply means some lower slot never
+        arrived here — briefly normal while instances pipeline, but if
+        the gap persists for a whole view-change timeout the primary is
+        withholding sequence numbers (e.g. a muted primary whose
+        pre-prepares were swallowed while cross-shard slots above them
+        kept deciding) and must be suspected.  One rolling timer per
+        replica; it re-arms while progress continues and fires a
+        suspicion only when ``next_apply`` stalled for a full timeout.
+        The handle is reset to ``None`` on firing and never cancelled
+        elsewhere, so a plain ``is not None`` check suffices on this
+        hot path (blocked decisions are routine while instances
+        pipeline).
+        """
+        if self._gap_timer is not None:
+            return
+        self._gap_timer = self.set_timer(
+            self.view_change_timeout,
+            self._on_gap_timeout,
+            self.log.next_apply,
+            self.intra.view,
+        )
+
+    def _on_gap_timeout(self, next_apply_at_arm: int, view_at_arm: int) -> None:
+        self._gap_timer = None
+        if not self.log.blocked_decisions:
+            return
+        if self.log.next_apply == next_apply_at_arm and self.intra.view == view_at_arm:
+            self.intra.view_change.suspect_primary()
+        # Still blocked (progress, a view change in flight, or a fresh
+        # stall): keep watching until the gap clears.
+        self._monitor_gap()
 
     def _apply(self, entry) -> None:
         positions = entry.positions or {self.cluster_id: entry.slot}
@@ -210,6 +300,18 @@ class SharPerReplica(Process):
         item = entry.item
         if isinstance(item, ClientRequest):
             transaction = item.transaction
+            # involved_shards is memoised on the shared payload, so this
+            # guard costs one cache probe per applied transaction.
+            if len(positions) == 1 and len(transaction.involved_shards(self.mapper)) > 1:
+                # Backstop for cross-shard atomicity: a cross-shard
+                # transaction decided without its full position vector
+                # (every known path is closed, but a half-execution
+                # would silently mint or destroy money).  Fill the slot
+                # with a no-op and send no reply — the client's retry
+                # commits the transaction atomically elsewhere.
+                self.charge(self.cost_model.append_cost)
+                self.chain.append(Block.noop(positions, proposer=proposer, parents=parents))
+                return
             # One fused CPU charge for append + execution (charging is
             # associative, so this is exactly two consecutive charges).
             self.charge(self.cost_model.append_cost + self.cost_model.execution_cost)

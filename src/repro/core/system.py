@@ -10,8 +10,10 @@ cross-shard protocol.  The baselines in :mod:`repro.baselines` subclass
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Iterable, Mapping
 
+from ..adversary import AdversaryBehavior, SafetyAuditor, SafetyReport, make_behavior
 from ..api.registry import register_system
 from ..common.config import SystemConfig
 from ..common.errors import ConfigurationError
@@ -65,6 +67,9 @@ class BaseSystem:
             accounts_per_shard=workload_config.accounts_per_shard,
         )
         self.clients: list[ClosedLoopClient | OpenLoopClient] = []
+        #: process ids currently running an adversary behaviour; the
+        #: safety auditor excludes these from its cross-replica checks.
+        self.byzantine_nodes: set[int] = set()
 
     # ------------------------------------------------------------------
     # account bootstrap
@@ -188,12 +193,61 @@ class BaseSystem:
         """Crash the (initial) primary of a cluster."""
         self.crash_node(int(self.config.cluster(cluster_id).primary))
 
+    def make_byzantine(
+        self, node_id: int, behavior: "str | AdversaryBehavior" = "silent-primary"
+    ) -> AdversaryBehavior:
+        """Turn a replica Byzantine by attaching an adversary behaviour.
+
+        ``behavior`` is a registry name (see
+        :func:`repro.adversary.available_behaviors`) or a ready-made
+        :class:`~repro.adversary.AdversaryBehavior` instance.  The node
+        keeps running — unlike a crash it still receives, executes, and
+        proposes — but its outbound traffic is filtered by the behaviour.
+        Returns the attached instance for introspection.
+
+        A passed-in instance is deep-copied before attaching: fault
+        schedules (and the behaviours inside them) are shared across
+        scenario variations and worker-pool pickles, so attaching a
+        private copy keeps one run's adversary state (RNG draws,
+        equivocation forks, counters) from leaking into the next —
+        per-seed results stay bit-identical between serial and pooled
+        execution.
+        """
+        process = self._process_by_pid(node_id)
+        instance = copy.deepcopy(make_behavior(behavior, seed=self.seed + int(node_id)))
+        process.byzantine = True
+        process.set_interceptor(instance)
+        self.byzantine_nodes.add(int(node_id))
+        return instance
+
+    def make_primary_byzantine(
+        self, cluster_id: ClusterId, behavior: "str | AdversaryBehavior" = "silent-primary"
+    ) -> AdversaryBehavior:
+        """Attach an adversary behaviour to a cluster's initial primary."""
+        return self.make_byzantine(int(self.config.cluster(cluster_id).primary), behavior)
+
+    def restore_node(self, node_id: int) -> None:
+        """Restore a Byzantine replica to correct behaviour (detach it)."""
+        process = self._process_by_pid(node_id)
+        process.set_interceptor(None)
+        process.byzantine = False
+        self.byzantine_nodes.discard(int(node_id))
+
     # ------------------------------------------------------------------
     # correctness checks
     # ------------------------------------------------------------------
     def audit(self) -> AuditReport:
         """Run the ledger consistency audit over the representative views."""
         return audit_views(self.views())
+
+    def safety_audit(self) -> SafetyReport:
+        """Cross-replica safety audit (no fork, conservation, at-most-once).
+
+        Complements :meth:`audit` — which checks one representative view
+        per cluster — by comparing **every correct replica**, excluding
+        the nodes currently marked Byzantine.  Run after :meth:`drain`.
+        """
+        return SafetyAuditor(self).audit()
 
     def total_balance(self) -> int:
         """Sum of balances across all shards (conservation invariant)."""
@@ -287,15 +341,17 @@ class SharPerSystem(BaseSystem):
     def representative_of(self, cluster_id: ClusterId) -> SharPerReplica:
         """The replica whose chain and store the audits report for a cluster.
 
-        Non-crashed replicas are preferred; ties break toward the longest
-        chain.  :meth:`views` and :meth:`stores` both use this rule so a
-        post-crash audit compares a chain and store from the same replica.
+        Correct (non-crashed, non-Byzantine) replicas are preferred; ties
+        break toward the longest chain.  :meth:`views` and :meth:`stores`
+        both use this rule so a post-fault audit compares a chain and
+        store from the same replica.
         """
+        replicas = self.replicas_of(cluster_id)
         candidates = [
             replica
-            for replica in self.replicas_of(cluster_id)
-            if not replica.crashed
-        ] or self.replicas_of(cluster_id)
+            for replica in replicas
+            if not replica.crashed and not replica.byzantine
+        ] or [replica for replica in replicas if not replica.crashed] or replicas
         return max(candidates, key=lambda replica: replica.chain.height)
 
     def views(self) -> dict[ClusterId, ClusterView]:

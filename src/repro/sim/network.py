@@ -12,7 +12,13 @@ or reorder messages.  This module models exactly that:
   (:meth:`Network.partition`);
 * pairwise authentication is modelled by handing the receiver the true
   sender id — a Byzantine process cannot claim another node's identity at
-  the transport layer, matching the paper's assumption.
+  the transport layer, matching the paper's assumption;
+* Byzantine *content* manipulation happens one layer up: a process with a
+  :class:`~repro.adversary.MessageInterceptor` attached filters its own
+  outbound traffic (drop/delay/duplicate/rewrite per destination, see
+  :meth:`repro.sim.process.Process.set_interceptor`) before it reaches
+  :meth:`Network.send` — the transport itself stays honest, so the
+  faultless fast path below is untouched by the adversary subsystem.
 
 Performance model & parallel execution
 --------------------------------------

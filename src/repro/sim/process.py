@@ -23,17 +23,26 @@ destinations.
 Fault injection hooks:
 
 * :meth:`Process.crash` / :meth:`Process.recover` — crash-stop behaviour;
-* :attr:`Process.byzantine` — a flag protocols consult to simulate
-  malicious behaviour (equivocation, silence) in tests.
+* :attr:`Process.byzantine` — a flag marking the node as adversarial
+  (set by :meth:`repro.core.system.BaseSystem.make_byzantine`);
+* :meth:`Process.set_interceptor` — attach a
+  :class:`~repro.adversary.MessageInterceptor` that filters every
+  outbound message per destination (drop, delay, duplicate, rewrite).
+  With no interceptor attached, ``send``/``multicast`` take exactly the
+  pre-existing fast path — one ``is None`` check and no extra RNG draws
+  — so faultless runs stay bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from .costs import CostModel
 from .network import Network
 from .simulator import Simulator, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..adversary.interceptor import MessageInterceptor
 
 __all__ = ["Process"]
 
@@ -59,6 +68,8 @@ class Process:
         self.name = name or f"proc-{pid}"
         self.crashed = False
         self.byzantine = False
+        #: outbound message filter; None on the (default) faultless path.
+        self.interceptor: "MessageInterceptor | None" = None
         self._cpu_free_at = 0.0
         self.messages_received = 0
         self.messages_sent = 0
@@ -173,6 +184,9 @@ class Process:
     # ------------------------------------------------------------------
     def send(self, dst: int, message: Any) -> None:
         """Send one message, charging send-side CPU first."""
+        if self.interceptor is not None:
+            self._send_intercepted((dst,), message)
+            return
         cost = self.cost_model.send_cost(message, destinations=1)
         start = self.sim._now  # inlined charge()
         free_at = self._cpu_free_at
@@ -193,6 +207,9 @@ class Process:
         (:meth:`Network.multicast`).
         """
         pid = self.pid
+        if self.interceptor is not None:
+            self._send_intercepted([dst for dst in destinations if dst != pid], message)
+            return
         count = 0
         for dst in destinations:
             if dst != pid:
@@ -207,6 +224,44 @@ class Process:
         self.cpu_busy_time += cost
         self.messages_sent += count
         self.network.multicast(pid, destinations, message, depart_time=departure)
+
+    def _send_intercepted(self, destinations: Any, message: Any) -> None:
+        """Slow path taken only while an interceptor is attached.
+
+        The interceptor is consulted once per destination; CPU is charged
+        as if the node had served every *intended* destination (a faulty
+        node does the protocol's work, it just lies on the wire), so the
+        adversary gains no free CPU by dropping traffic.  Replacement
+        copies depart at the same NIC time plus their ``extra_delay``.
+        """
+        interceptor = self.interceptor
+        outbound: list[tuple[int, Any, float]] = []
+        for dst in destinations:
+            interceptor.seen += 1
+            actions = interceptor.outbound(dst, message)
+            if actions is None:
+                outbound.append((dst, message, 0.0))
+            else:
+                outbound.extend(
+                    (action.dst, action.message, action.extra_delay)
+                    for action in actions
+                )
+        cost = self.cost_model.send_cost(message, destinations=len(destinations))
+        departure = self.charge(cost)
+        self.messages_sent += len(outbound)
+        network = self.network
+        pid = self.pid
+        for dst, payload, extra in outbound:
+            network.send(pid, dst, payload, depart_time=departure + extra)
+
+    def set_interceptor(self, interceptor: "MessageInterceptor | None") -> None:
+        """Attach (or, with ``None``, detach) the outbound message filter."""
+        previous = self.interceptor
+        if previous is not None and previous is not interceptor:
+            previous.detach()
+        self.interceptor = interceptor
+        if interceptor is not None:
+            interceptor.attach(self)
 
     # ------------------------------------------------------------------
     # timers and fault injection

@@ -8,10 +8,17 @@ The paper's experiments control two knobs (Section 4):
   touch two clusters in the scalability experiment of Figure 8).
 
 :class:`WorkloadGenerator` reproduces that: it draws intra-shard
-transactions uniformly (or Zipf-skewed) over the shards and, with the
-configured probability, emits a cross-shard transfer between accounts of
-distinct, randomly chosen shards.  Generation is seeded and fully
-deterministic.
+transactions uniformly over the shards and, with the configured
+probability, emits a cross-shard transfer between accounts of distinct,
+randomly chosen shards.  Account popularity within a shard is uniform by
+default, optionally skewed by a *two-level hot-spot model*: a
+``hot_account_fraction`` of each shard's accounts (the "hot set", the
+lowest-numbered accounts) absorbs a ``hot_access_fraction`` of the
+accesses, and the remaining accesses are uniform over the whole shard.
+This is a flat hot/cold split, not a Zipf (power-law) distribution —
+e.g. ``hot_account_fraction=0.1, hot_access_fraction=0.9`` gives the
+classic "90% of traffic on 10% of accounts" contention profile.
+Generation is seeded and fully deterministic.
 """
 
 from __future__ import annotations
@@ -45,8 +52,13 @@ class WorkloadConfig:
     max_amount: int = 10
     #: number of distinct application clients issuing requests.
     num_clients: int = 64
-    #: Zipf-like skew for account popularity (0 = uniform).
+    #: two-level hot-spot skew: fraction of each shard's accounts forming
+    #: the hot set (0 = no hot set, uniform selection).  At least one
+    #: account is hot whenever this is non-zero.
     hot_account_fraction: float = 0.0
+    #: probability that an access targets the hot set (the remaining
+    #: accesses draw uniformly over the whole shard, hot accounts
+    #: included).  Only meaningful with ``hot_account_fraction > 0``.
     hot_access_fraction: float = 0.0
 
     def __post_init__(self) -> None:
@@ -101,7 +113,13 @@ class WorkloadGenerator:
     # account selection
     # ------------------------------------------------------------------
     def _pick_account(self, shard: ShardId, exclude: AccountId | None = None) -> AccountId:
-        """Pick an account of ``shard``; honours the hot-spot skew knob."""
+        """Pick an account of ``shard`` under the two-level hot-spot model.
+
+        With probability ``hot_access_fraction`` the account is drawn
+        uniformly from the shard's hot set (its first
+        ``hot_account_fraction`` of accounts); otherwise uniformly from
+        the whole shard.
+        """
         accounts = self.mapper.accounts_in_shard(shard)
         config = self.config
         hot_count = max(1, int(len(accounts) * config.hot_account_fraction)) if config.hot_account_fraction else 0

@@ -1,0 +1,134 @@
+"""Unit tests for FaultSchedule ordering, arming, and adversary events."""
+
+import pickle
+
+import pytest
+
+from repro import FaultModel, WorkloadConfig
+from repro.api import (
+    CrashNode,
+    FaultSchedule,
+    Heal,
+    MakeByzantine,
+    MakePrimaryByzantine,
+    RecoverNode,
+    RestoreNode,
+)
+from repro.api.scenario import DeploymentSpec, Scenario
+from repro.common.errors import ConfigurationError
+
+
+def build_system(num_clusters=2, fault_model=FaultModel.BYZANTINE):
+    return Scenario(
+        deployment=DeploymentSpec(system="sharper", fault_model=fault_model,
+                                  num_clusters=num_clusters),
+        workload=WorkloadConfig(accounts_per_shard=16),
+    ).build_system()
+
+
+class TestOrdering:
+    def test_add_keeps_events_sorted_by_time(self):
+        schedule = FaultSchedule()
+        schedule.crash_node(at=0.3, node_id=1)
+        schedule.heal(at=0.1)
+        schedule.recover_node(at=0.2, node_id=1)
+        assert [type(event) for event in schedule.events] == [Heal, RecoverNode, CrashNode]
+        assert [event.time for event in schedule.events] == [0.1, 0.2, 0.3]
+
+    def test_ties_keep_insertion_order(self):
+        schedule = FaultSchedule()
+        schedule.crash_node(at=0.1, node_id=1)
+        schedule.crash_node(at=0.1, node_id=2)
+        schedule.crash_node(at=0.1, node_id=3)
+        assert [event.node_id for event in schedule.events] == [1, 2, 3]
+
+    def test_constructor_sorts_initial_events(self):
+        schedule = FaultSchedule([CrashNode(time=0.5, node_id=0), Heal(time=0.1)])
+        assert [event.time for event in schedule.events] == [0.1, 0.5]
+
+    def test_interleaved_adds_stay_sorted(self):
+        schedule = FaultSchedule()
+        for at in (0.5, 0.1, 0.9, 0.3, 0.7):
+            schedule.heal(at=at)
+        assert [event.time for event in schedule.events] == [0.1, 0.3, 0.5, 0.7, 0.9]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().crash_node(at=-0.1, node_id=0)
+
+
+class TestArming:
+    def test_arm_schedules_every_event(self):
+        system = build_system()
+        schedule = FaultSchedule().crash_node(at=0.1, node_id=1).heal(at=0.2)
+        before = system.sim.pending_events
+        schedule.arm(system)
+        assert system.sim.pending_events == before + 2
+
+    def test_double_arm_on_same_system_is_a_noop(self):
+        system = build_system()
+        schedule = FaultSchedule().crash_node(at=0.1, node_id=1)
+        schedule.arm(system)
+        after_first = system.sim.pending_events
+        schedule.arm(system)
+        assert system.sim.pending_events == after_first
+
+    def test_arming_a_different_system_schedules_again(self):
+        schedule = FaultSchedule().crash_node(at=0.1, node_id=1)
+        first = build_system()
+        second = build_system()
+        schedule.arm(first)
+        before = second.sim.pending_events
+        schedule.arm(second)
+        assert second.sim.pending_events == before + 1
+
+    def test_schedule_pickles_without_the_arm_guard(self):
+        system = build_system()
+        schedule = FaultSchedule().crash_node(at=0.1, node_id=1)
+        schedule.arm(system)
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert len(clone) == 1
+        # The guard does not travel: the clone can arm a fresh system.
+        fresh = build_system()
+        before = fresh.sim.pending_events
+        clone.arm(fresh)
+        assert fresh.sim.pending_events == before + 1
+
+
+class TestAdversaryEvents:
+    def test_make_byzantine_attaches_behavior(self):
+        system = build_system()
+        event = MakeByzantine(time=0.0, node_id=1, behavior="silent-primary")
+        event.apply(system)
+        process = system.replicas[1]
+        assert process.byzantine
+        assert process.interceptor is not None
+        assert 1 in system.byzantine_nodes
+
+    def test_make_primary_byzantine_targets_the_initial_primary(self):
+        system = build_system()
+        MakePrimaryByzantine(time=0.0, cluster=1, behavior="silent-primary").apply(system)
+        primary = int(system.config.cluster(1).primary)
+        assert primary in system.byzantine_nodes
+
+    def test_restore_detaches_and_clears_flags(self):
+        system = build_system()
+        MakeByzantine(time=0.0, node_id=1, behavior="silent-primary").apply(system)
+        RestoreNode(time=0.0, node_id=1).apply(system)
+        process = system.replicas[1]
+        assert not process.byzantine
+        assert process.interceptor is None
+        assert system.byzantine_nodes == set()
+
+    def test_adversarial_marker_drives_scenario_autodetection(self):
+        clean = Scenario(faults=FaultSchedule().crash_node(at=0.1, node_id=0))
+        assert not clean.has_adversary
+        attacked = Scenario(
+            faults=FaultSchedule().make_byzantine(at=0.1, node=0, behavior="silent-primary")
+        )
+        assert attacked.has_adversary
+
+    def test_describe_mentions_the_behavior(self):
+        event = MakeByzantine(time=0.25, node_id=3, behavior="equivocating-primary")
+        assert "equivocating-primary" in event.describe()
+        assert "node 3" in event.describe()
