@@ -15,6 +15,10 @@ Public entry points
 * :mod:`repro.adversary` — scripted Byzantine behaviours (equivocation,
   silence, delays, tampering), the outbound message-interception hook,
   and the cross-replica :class:`~repro.adversary.SafetyAuditor`.
+* :mod:`repro.recovery` — checkpointing + log compaction (bounded
+  memory for arbitrarily long runs), state-transfer catch-up for
+  recovered/lagging replicas, and checkpoint-anchored termination of
+  in-flight cross-shard instances at view changes.
 * :class:`repro.core.SharPerSystem` — build and run the paper's system.
 * :mod:`repro.baselines` — APR, Fast Paxos, FaB, and AHL comparison systems.
 * :mod:`repro.bench` — the harness regenerating every figure of the paper.

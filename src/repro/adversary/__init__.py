@@ -30,6 +30,7 @@ from .behaviors import (
     AdversaryBehavior,
     DelayAttacker,
     EquivocatingPrimary,
+    QuorumAwareEquivocator,
     SelectiveSilence,
     SilentPrimary,
     TamperedDigest,
@@ -47,6 +48,7 @@ __all__ = [
     "EquivocatingPrimary",
     "MessageInterceptor",
     "Outbound",
+    "QuorumAwareEquivocator",
     "SafetyAuditor",
     "SafetyReport",
     "SelectiveSilence",

@@ -125,31 +125,49 @@ class SafetyAuditor:
     def _check_no_fork(self, cluster_id, replicas, report: SafetyReport):
         """Chains of correct replicas must be prefixes of the longest one.
 
-        Returns the representative (longest-chain) replica for the
-        cluster, used afterwards for the balance check.
+        Blocks are aligned by their absolute chain position, not by list
+        offset, because replicas prune independently once checkpointing
+        runs (:mod:`repro.recovery`): two correct replicas may retain
+        different suffixes of the same chain.  Positions only one of the
+        two retains are vouched for by the stable-checkpoint quorum that
+        authorised the pruning.  Returns the representative
+        (longest-chain) replica for the cluster, used afterwards for the
+        balance check.
         """
         representative = max(replicas, key=lambda replica: replica.chain.height)
-        reference = representative.chain.blocks()
+        reference = {
+            block.position_for(cluster_id): block
+            for block in representative.chain.blocks()
+        }
         for replica in replicas:
             if replica is representative:
                 continue
-            for offset, block in enumerate(replica.chain.blocks()):
-                other = reference[offset]
+            for block in replica.chain.blocks():
+                position = block.position_for(cluster_id)
+                other = reference.get(position)
+                if other is None:
+                    continue
                 if block.block_hash != other.block_hash:
                     report.problems.append(
                         f"fork in cluster {cluster_id}: replicas "
                         f"{int(replica.pid)} and {int(representative.pid)} commit "
-                        f"different blocks at height {offset + 1} "
+                        f"different blocks at height {position} "
                         f"({block.label()} vs {other.label()})"
                     )
                     break
         return representative
 
     def _check_at_most_once(self, cluster_id, replicas, report: SafetyReport) -> None:
-        """No transaction may be committed twice in any correct chain."""
+        """No transaction may be committed twice in any correct chain.
+
+        Heights come from the blocks' position vectors (stable across
+        pruning); the append path additionally enforces the invariant at
+        run time against the full — never pruned — transaction index.
+        """
         for replica in replicas:
             seen: dict[str, int] = {}
-            for height, block in enumerate(replica.chain.blocks(), start=1):
+            for block in replica.chain.blocks():
+                height = block.position_for(cluster_id)
                 for transaction in block.transactions:
                     first = seen.setdefault(transaction.tx_id, height)
                     if first != height:

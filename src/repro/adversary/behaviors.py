@@ -29,6 +29,10 @@ Shipped behaviours:
 * ``tampered-digest`` — rewrites the digest carried by its votes, so
   correct replicas can never match them into a quorum (equivalent to
   withholding, but exercises the digest-checking paths).
+* ``quorum-aware-equivocator`` — the *adaptive* adversary from the
+  ROADMAP gap list: reads the host's live prepare-quorum tracker and
+  sends conflicting prepares only at the exact moment its vote would
+  complete the ``2f + 1`` quorum, staying honest otherwise.
 
 All behaviours are safe-by-construction targets for the
 :class:`~repro.adversary.auditor.SafetyAuditor`: with at most ``f``
@@ -64,6 +68,7 @@ __all__ = [
     "AdversaryBehavior",
     "DelayAttacker",
     "EquivocatingPrimary",
+    "QuorumAwareEquivocator",
     "SelectiveSilence",
     "SilentPrimary",
     "TamperedDigest",
@@ -320,6 +325,81 @@ class TamperedDigest(AdversaryBehavior):
         if digest is None:
             return self.pass_through()
         forged = hashlib.sha256(f"tampered|{self.seed}|{digest}".encode()).hexdigest()
+        return self.emit(Outbound(dst=dst, message=dataclass_replace(message, digest=forged)))
+
+
+@register_behavior("quorum-aware-equivocator", aliases=("adaptive-equivocator",))
+class QuorumAwareEquivocator(AdversaryBehavior):
+    """Equivocate a quorum vote only when the quorum is one vote short.
+
+    The first *adaptive* adversary from the ROADMAP gap list: instead of
+    following a fixed script it reads the host replica's live protocol
+    state through the interceptor hook.  Whenever this node is about to
+    multicast a prepare/commit vote after whose accounting the quorum
+    for ``(view, slot, digest)`` would sit *exactly one peer vote short*
+    of ``2f + 1`` — i.e. precisely when withholding the truth from part
+    of the cluster maximally endangers the quorum — it splits the
+    cluster: a seeded half of the peers receives a *conflicting* vote
+    (forged digest) while the rest receive the real one.  The oracle is
+    the host engine's own vote tracker plus the votes the engine records
+    the moment this multicast returns (a backup's prepare carries two:
+    its own and the pre-prepare it doubles for).  When the tracker shows
+    the cluster is already further along — peer votes arrived before
+    this node's own, e.g. across view changes or under concurrent
+    attacks — the condition fails and the node stays scrupulously
+    honest, keeping the attack invisible to any detector that samples
+    behaviour at random moments.
+
+    With at most ``f`` such adversaries per cluster the quorum
+    intersection argument still holds — the forged digest can never
+    gather ``2f + 1`` matching votes — so the attack can at worst stall
+    a slot into a view change; the
+    :class:`~repro.adversary.auditor.SafetyAuditor` must keep passing.
+    """
+
+    #: outbound vote type → (host tracker name, votes the engine records
+    #: for the key right after this multicast returns).
+    _TRACKERS = {Prepare: ("_prepares", 2), PBFTCommit: ("_commits", 1)}
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        #: (view, slot, digest) -> set of pids fed the conflicting vote.
+        self._forks: dict[tuple[int, int, str], set[int]] = {}
+        self.equivocations = 0
+
+    def _pivotal(self, message: object) -> bool:
+        spec = self._TRACKERS.get(type(message))
+        if spec is None:
+            return False
+        tracker_name, own_weight = spec
+        engine = getattr(self.process, "intra", None)
+        tracker = getattr(engine, tracker_name, None)
+        if tracker is None:
+            return False
+        key = (message.view, message.slot, message.digest)
+        return tracker.threshold - (tracker.count(key) + own_weight) == 1
+
+    def _victims(self, key: tuple[int, int, str]) -> set[int]:
+        victims = self._forks.get(key)
+        if victims is None:
+            peers = self.cluster_peers()
+            self.rng.shuffle(peers)
+            victims = set(peers[: max(1, len(peers) // 2)]) if peers else set()
+            self._forks[key] = victims
+        return victims
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if type(message) not in self._TRACKERS:
+            return self.pass_through()
+        key = (message.view, message.slot, message.digest)
+        if key not in self._forks and not self._pivotal(message):
+            return self.pass_through()
+        if dst not in self._victims(key):
+            return self.pass_through()
+        forged = hashlib.sha256(
+            f"quorum-equivocation|{self.seed}|{message.digest}".encode()
+        ).hexdigest()
+        self.equivocations += 1
         return self.emit(Outbound(dst=dst, message=dataclass_replace(message, digest=forged)))
 
 

@@ -18,6 +18,7 @@ from ..common.errors import ValidationError
 from ..common.metrics import RunStats
 from ..common.types import ClusterId
 from ..ledger.validation import AuditReport
+from ..recovery.stats import RecoveryStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.system import BaseSystem
@@ -54,6 +55,9 @@ class ScenarioResult:
     #: cross-replica safety audit under adversaries (None when skipped —
     #: see :attr:`repro.api.Scenario.audit_safety`).
     safety: SafetyReport | None = None
+    #: aggregated checkpoint/state-transfer/termination counters (None
+    #: for systems without the recovery subsystem, e.g. some baselines).
+    recovery: RecoveryStats | None = None
 
     # ------------------------------------------------------------------
     # detachment (multiprocessing support)
@@ -122,6 +126,8 @@ class ScenarioResult:
             "safety_ok": self.safety.ok if self.safety is not None else None,
             "balance_conserved": self.balance_conserved,
         }
+        if self.recovery is not None:
+            row.update(self.recovery.as_dict())
         for cluster_id in sorted(self.chain_heights):
             row[f"height_p{int(cluster_id)}"] = self.chain_heights[cluster_id]
         return row
@@ -142,9 +148,17 @@ class ScenarioResult:
                 for cluster_id, height in sorted(self.chain_heights.items())
             )
             lines.append(f"chains     : {heights}")
+        if self.stats.late_commits:
+            lines.append(f"late cmts  : {self.stats.late_commits} cross-shard commits raced a view change")
         if self.audit is not None:
             lines.append(f"audit      : {'OK' if self.audit.ok else self.audit.problems}")
             lines.append(f"balance    : {'conserved' if self.balance_conserved else 'VIOLATED'}")
         if self.safety is not None:
             lines.append(f"safety     : {'OK' if self.safety.ok else self.safety.problems}")
+        if self.recovery is not None and (
+            self.recovery.checkpoints_taken
+            or self.recovery.state_transfers_requested
+            or self.recovery.terminations_started
+        ):
+            lines.append(f"recovery   : {self.recovery.summary()}")
         return "\n".join(lines)

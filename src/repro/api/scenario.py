@@ -35,6 +35,7 @@ from ..common.config import PerformanceModel, ProtocolTuning, SystemConfig
 from ..common.errors import ConfigurationError
 from ..common.metrics import MetricsCollector
 from ..common.types import FaultModel
+from ..recovery.stats import collect_recovery_stats
 from ..txn.workload import WorkloadConfig
 from .faults import FaultSchedule
 from .registry import get_system
@@ -64,6 +65,10 @@ class DeploymentSpec:
     nodes_per_cluster: int | None = None
     performance: PerformanceModel = field(default_factory=PerformanceModel)
     tuning: ProtocolTuning = field(default_factory=ProtocolTuning)
+    #: convenience override for the most commonly swept recovery knob:
+    #: when set, replaces ``tuning.checkpoint_interval`` (decided slots
+    #: between checkpoints; 0 disables checkpointing and log GC).
+    checkpoint_interval: int | None = None
     #: explicit topology override; when set, the fields above describing
     #: the homogeneous layout are ignored.
     config: SystemConfig | None = None
@@ -72,13 +77,18 @@ class DeploymentSpec:
         """The concrete :class:`SystemConfig` this spec describes."""
         if self.config is not None:
             return self.config
+        tuning = self.tuning
+        if self.checkpoint_interval is not None:
+            tuning = dataclasses.replace(
+                tuning, checkpoint_interval=self.checkpoint_interval
+            )
         return SystemConfig.build(
             num_clusters=self.num_clusters,
             fault_model=self.fault_model,
             f=self.f,
             nodes_per_cluster=self.nodes_per_cluster,
             performance=self.performance,
-            tuning=self.tuning,
+            tuning=tuning,
             seed=seed,
         )
 
@@ -191,6 +201,18 @@ class Scenario:
             )
             if run_safety:
                 safety = system.safety_audit()
+        # Surface the engines' late-commit counters (cross-shard commits
+        # that lost the race against a view-change fill) and the
+        # recovery subsystem's checkpoint/state-transfer/termination
+        # activity alongside the performance statistics.
+        late_commits = 0
+        for process in system.processes():
+            cross = getattr(process, "cross", None)
+            if cross is not None:
+                late_commits += getattr(cross, "late_commits", 0)
+        if late_commits:
+            stats = dataclasses.replace(stats, late_commits=late_commits)
+        recovery = collect_recovery_stats(system)
         heights = {
             cluster_id: view.height for cluster_id, view in system.views().items()
         }
@@ -205,6 +227,7 @@ class Scenario:
             total_balance=total,
             expected_balance=expected,
             safety=safety,
+            recovery=recovery,
         )
 
 

@@ -114,6 +114,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--attack-cluster", type=int, default=0, metavar="C",
         help="scenario: which cluster's primary turns Byzantine (default 0)",
     )
+
+    recovery = parser.add_argument_group("recovery (repro.recovery)")
+    recovery.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="N",
+        help="scenario: checkpoint every N decided slots (enables log "
+        "compaction and snapshot-based state transfer; 0 disables)",
+    )
+    recovery.add_argument(
+        "--crash-node-at", type=float, default=None, metavar="T",
+        help="scenario: crash one replica at simulated time T (churn runs)",
+    )
+    recovery.add_argument(
+        "--crash-node", type=int, default=2, metavar="N",
+        help="scenario: which replica --crash-node-at crashes (default 2)",
+    )
+    recovery.add_argument(
+        "--recover-node-at", type=float, default=None, metavar="T",
+        help="scenario: recover the crashed replica at simulated time T "
+        "(it state-transfers the missed slots and rejoins consensus)",
+    )
     return parser
 
 
@@ -121,6 +141,10 @@ def _run_scenario(args: argparse.Namespace) -> int:
     faults = FaultSchedule()
     if args.crash_primary_at is not None:
         faults.crash_primary(at=args.crash_primary_at, cluster=args.crash_cluster)
+    if args.crash_node_at is not None:
+        faults.crash_node(at=args.crash_node_at, node_id=args.crash_node)
+    if args.recover_node_at is not None:
+        faults.recover_node(at=args.recover_node_at, node_id=args.crash_node)
     if args.attack is not None:
         faults.make_primary_byzantine(
             at=args.attack_at, cluster=args.attack_cluster, behavior=args.attack
@@ -135,6 +159,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 system=args.scenario,
                 fault_model=fault_model,
                 num_clusters=args.clusters,
+                checkpoint_interval=args.checkpoint_interval or None,
             ),
             workload=WorkloadConfig(cross_shard_fraction=args.cross_shard),
             clients=args.clients,

@@ -40,8 +40,11 @@ __all__ = [
     "FULL_CLIENTS",
     "ATTACK_CROSS_FRACTIONS",
     "attack_scenario",
+    "churn_scenario",
+    "longrun_scenario",
     "run_attack_sweep",
     "run_figure",
+    "run_recovery_suite",
     "list_figures",
 ]
 
@@ -270,6 +273,120 @@ def run_attack_sweep(
         for seed in seeds
     ]
     return run_scenarios(scenarios, jobs=jobs, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# recovery experiments (repro.recovery): long-run memory + churn
+# ----------------------------------------------------------------------
+
+def longrun_scenario(
+    checkpoint_interval: int = 50,
+    duration: float = 2.0,
+    clients: int = 12,
+    num_clusters: int = 2,
+    cross_shard_fraction: float = 0.1,
+    fault_model: FaultModel = FaultModel.CRASH,
+    seed: int = 1,
+    accounts_per_shard: int = 128,
+) -> Scenario:
+    """A fig8-style long run sized to prove bounded memory.
+
+    With the default calibration each cluster decides well over
+    ``20 × checkpoint_interval`` slots, so a bounded
+    ``peak_log_entries`` (at most ``2 × interval`` once checkpoints
+    stabilise) is a meaningful statement about arbitrarily long runs —
+    compare against the same scenario with ``checkpoint_interval=0``,
+    where the log grows with the run.
+    """
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=fault_model,
+            num_clusters=num_clusters,
+            checkpoint_interval=checkpoint_interval,
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_shard_fraction,
+            accounts_per_shard=accounts_per_shard,
+        ),
+        name=f"longrun ckpt={checkpoint_interval}",
+        clients=clients,
+        duration=duration,
+        warmup=0.06,
+        seed=seed,
+        # The acceptance bar for bounded memory includes the
+        # cross-replica auditor: truncation must not hide a fork.
+        audit_safety=True,
+    )
+
+
+def churn_scenario(
+    checkpoint_interval: int = 25,
+    crash_at: float = 0.15,
+    recover_at: float = 0.45,
+    node: int = 2,
+    duration: float = 0.8,
+    clients: int = 8,
+    num_clusters: int = 2,
+    cross_shard_fraction: float = 0.1,
+    fault_model: FaultModel = FaultModel.CRASH,
+    seed: int = 1,
+) -> Scenario:
+    """Crash → recover → state-transfer → catch-up → serve, verified.
+
+    The crashed replica misses a window of decided slots that by
+    ``recover_at`` has typically been garbage-collected at its peers;
+    rejoining therefore exercises the full snapshot-install path, after
+    which the replica participates in later quorums (its applied height
+    reaches the cluster's).  The cross-replica safety audit is forced on
+    so truncation and replay are checked against every correct replica.
+    """
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=fault_model,
+            num_clusters=num_clusters,
+            checkpoint_interval=checkpoint_interval,
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_shard_fraction, accounts_per_shard=128
+        ),
+        name=f"churn node={node} ckpt={checkpoint_interval}",
+        clients=clients,
+        duration=duration,
+        warmup=0.06,
+        seed=seed,
+        faults=FaultSchedule().crash_node(at=crash_at, node_id=node).recover_node(
+            at=recover_at, node_id=node
+        ),
+        audit_safety=True,
+    )
+
+
+def run_recovery_suite(
+    checkpoint_interval: int = 50,
+    duration: float = 2.0,
+    jobs: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ScenarioResult]:
+    """The recovery experiment pair: bounded-memory long run + churn.
+
+    Returns ``{"longrun": ..., "longrun_unbounded": ..., "churn": ...}``
+    — the first two differ only in whether checkpointing is on, which is
+    what the bounded-vs-unbounded comparison in the examples and the CI
+    smoke job asserts on.
+    """
+    scenarios = [
+        longrun_scenario(checkpoint_interval=checkpoint_interval, duration=duration),
+        longrun_scenario(checkpoint_interval=0, duration=duration),
+        churn_scenario(checkpoint_interval=max(checkpoint_interval // 2, 1)),
+    ]
+    results = run_scenarios(scenarios, jobs=jobs, progress=progress)
+    return {
+        "longrun": results[0],
+        "longrun_unbounded": results[1],
+        "churn": results[2],
+    }
 
 
 def run_figure(

@@ -95,6 +95,10 @@ class ProtocolTuning:
     block_size: int = 1
     #: whether the super-primary optimisation (Section 3.2) is enabled.
     use_super_primary: bool = True
+    #: decided-slot interval between checkpoints (0 disables
+    #: checkpointing and log/ledger garbage collection — the faultless
+    #: benchmark default).  See :mod:`repro.recovery`.
+    checkpoint_interval: int = 0
 
 
 @dataclass(frozen=True)

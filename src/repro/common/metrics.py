@@ -48,6 +48,12 @@ class RunStats:
     avg_latency_intra: float
     avg_latency_cross: float
     committed_cross: int
+    #: cross-shard commits that arrived after their local slot was
+    #: otherwise resolved (view-change no-op fill won the race), summed
+    #: over every replica.  Filled in by :meth:`repro.api.Scenario.run`;
+    #: non-zero values flag the residual atomicity window the
+    #: termination protocol (:mod:`repro.recovery`) exists to close.
+    late_commits: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Dictionary form, convenient for CSV reporting."""
@@ -63,6 +69,7 @@ class RunStats:
             "avg_latency_intra_ms": self.avg_latency_intra * 1e3,
             "avg_latency_cross_ms": self.avg_latency_cross * 1e3,
             "committed_cross": self.committed_cross,
+            "late_commits": self.late_commits,
         }
 
     @staticmethod
@@ -112,6 +119,7 @@ class RunStats:
             if committed_cross
             else 0.0,
             committed_cross=committed_cross,
+            late_commits=sum(run.late_commits for run in runs),
         )
 
 

@@ -101,6 +101,17 @@ class QuorumTracker:
         self._votes.clear()
         self._fired.clear()
 
+    def drop(self, predicate: Callable[[Hashable], bool]) -> None:
+        """Forget votes and fired marks for keys matching ``predicate``.
+
+        Used by checkpoint compaction to garbage-collect per-slot vote
+        bookkeeping once the slot is covered by a stable checkpoint.
+        """
+        for key in [key for key in self._votes if predicate(key)]:
+            del self._votes[key]
+        for key in [key for key in self._fired if predicate(key)]:
+            self._fired.discard(key)
+
 
 class HandlerTable:
     """Table-driven message dispatch shared by every protocol engine.

@@ -13,6 +13,12 @@ The log tracks three things per slot:
 * whether the slot has been *decided* (committed by consensus);
 * whether the slot has been *applied* (executed and appended to the
   ledger view).  Application is strictly in slot order.
+
+Stable checkpoints (:mod:`repro.recovery`) garbage-collect the log:
+:meth:`OrderingLog.truncate` drops applied entries and their dedup-index
+rows at or below the *low-water mark*, bounding the per-replica entry
+count for arbitrarily long runs, and stale protocol messages referring
+to compacted slots are ignored rather than resurrected.
 """
 
 from __future__ import annotations
@@ -101,6 +107,12 @@ class OrderingLog:
         self._decided_digests: dict[str, int] = {}
         self._pending_digests: dict[str, int] = {}
         self._blocked_decisions = 0
+        #: slots at or below this mark are checkpointed and compacted.
+        self._low_water = 0
+        #: running total of entries dropped by truncation.
+        self.truncated_entries = 0
+        #: high-water mark of the live entry count (bounded-memory proof).
+        self.peak_entry_count = 0
 
     # ------------------------------------------------------------------
     # slot allocation
@@ -114,6 +126,16 @@ class OrderingLog:
     def next_apply(self) -> int:
         """Lowest slot that has not been applied yet."""
         return self._next_apply
+
+    @property
+    def low_water_mark(self) -> int:
+        """Highest slot compacted away by a stable checkpoint (0 = none)."""
+        return self._low_water
+
+    @property
+    def entry_count(self) -> int:
+        """Number of entries currently held (bounded by checkpointing)."""
+        return len(self._entries)
 
     def allocate(self) -> int:
         """Allocate the next slot (primary side)."""
@@ -145,7 +167,7 @@ class OrderingLog:
         item: object,
         view: int = 0,
         proposer: ClusterId | None = None,
-    ) -> LogEntry:
+    ) -> LogEntry | None:
         """Record that ``item`` was accepted for ``slot`` (not yet decided).
 
         Within one view a slot accepts only one digest: re-recording the
@@ -158,8 +180,11 @@ class OrderingLog:
         item for a slot an equivocating old primary poisoned, and
         replicas must be able to accept it (otherwise one equivocation
         would wedge the slot forever).  Decided slots never change
-        digest.
+        digest.  Slots at or below the low-water mark were checkpointed
+        and compacted; stale proposals for them are ignored (``None``).
         """
+        if slot <= self._low_water:
+            return None
         if slot >= self._next_slot:  # inline observe()
             self._next_slot = slot + 1
         existing = self._entries.get(slot)
@@ -182,6 +207,8 @@ class OrderingLog:
             raise ConsensusError(f"slot {slot} already holds a different pending digest")
         entry = LogEntry(slot=slot, digest=digest, item=item, view=view, proposer=proposer)
         self._entries[slot] = entry
+        if len(self._entries) > self.peak_entry_count:
+            self.peak_entry_count = len(self._entries)
         self._pending_digests.setdefault(digest, slot)
         return entry
 
@@ -193,14 +220,19 @@ class OrderingLog:
         positions: Mapping[ClusterId, int] | None = None,
         proposer: ClusterId | None = None,
         view: int = 0,
-    ) -> LogEntry:
+    ) -> LogEntry | None:
         """Mark ``slot`` as decided with ``item``.
 
         Deciding overrides any pending entry for the slot (a pending entry
         with a different digest means that proposal lost; its initiator
         will retry at another slot).  Deciding an already-decided slot with
-        a different digest is a safety violation and raises.
+        a different digest is a safety violation and raises.  A stale
+        decision for a slot at or below the low-water mark (already
+        checkpointed and compacted) is ignored — resurrecting it would
+        leave a permanently blocked entry below ``next_apply``.
         """
+        if slot <= self._low_water:
+            return None
         if slot >= self._next_slot:  # inline observe()
             self._next_slot = slot + 1
         existing = self._entries.get(slot)
@@ -232,6 +264,8 @@ class OrderingLog:
                 view=view,
             )
             self._entries[slot] = entry
+            if len(self._entries) > self.peak_entry_count:
+                self.peak_entry_count = len(self._entries)
         if existing is not None and existing.digest != digest:
             # The pending proposal for this slot lost; drop its index
             # entry so its initiator may retry at another slot.
@@ -297,13 +331,71 @@ class OrderingLog:
         return self._blocked_decisions
 
     # ------------------------------------------------------------------
+    # checkpointing and compaction (repro.recovery)
+    # ------------------------------------------------------------------
+    def truncate(self, upto: int) -> int:
+        """Drop applied entries at slots ``<= upto`` (stable-checkpoint GC).
+
+        Only slots already applied may be compacted (a stable checkpoint
+        certifies state *after* applying them), so the effective mark is
+        clamped to ``next_apply - 1``.  Dedup-index rows pointing at the
+        dropped slots go with them; the ledger view's transaction index
+        keeps answering duplicate-detection queries for compacted
+        history.  Returns the number of entries dropped.
+        """
+        upto = min(upto, self._next_apply - 1)
+        if upto <= self._low_water:
+            return 0
+        removed = 0
+        entries = self._entries
+        decided = self._decided_digests
+        for slot in range(self._low_water + 1, upto + 1):
+            entry = entries.pop(slot, None)
+            if entry is None:
+                continue
+            removed += 1
+            if decided.get(entry.digest) == slot:
+                del decided[entry.digest]
+            if self._pending_digests.get(entry.digest) == slot:
+                del self._pending_digests[entry.digest]
+        self._low_water = upto
+        self.truncated_entries += removed
+        return removed
+
+    def install_checkpoint(self, seq: int) -> None:
+        """Adopt a remote stable checkpoint at ``seq`` (state transfer).
+
+        Everything at or below ``seq`` is forgotten — including entries
+        this replica never decided — and the apply cursor jumps past the
+        checkpoint; the caller is responsible for installing the matching
+        ledger/store snapshot and replaying the decided suffix.
+        """
+        entries = self._entries
+        for slot in [slot for slot in entries if slot <= seq]:
+            entry = entries.pop(slot)
+            if self._decided_digests.get(entry.digest) == slot:
+                del self._decided_digests[entry.digest]
+            if self._pending_digests.get(entry.digest) == slot:
+                del self._pending_digests[entry.digest]
+        self._next_slot = max(self._next_slot, seq + 1)
+        self._next_apply = max(self._next_apply, seq + 1)
+        self._low_water = max(self._low_water, seq)
+        self._blocked_decisions = sum(
+            1 for entry in entries.values() if entry.status is EntryStatus.DECIDED
+        )
+
+    # ------------------------------------------------------------------
     # introspection (view change support, tests)
     # ------------------------------------------------------------------
     def undecided_slots(self) -> list[int]:
-        """Slots below the allocation cursor that are not decided/applied."""
+        """Slots below the allocation cursor that are not decided/applied.
+
+        Compacted slots (at or below the low-water mark) are excluded —
+        their stable checkpoint proves they were decided and applied.
+        """
         return [
             slot
-            for slot in range(1, self._next_slot)
+            for slot in range(self._low_water + 1, self._next_slot)
             if slot not in self._entries
             or self._entries[slot].status is EntryStatus.PENDING
         ]

@@ -204,13 +204,19 @@ class ViewChange:
     """Replica → replicas: the sender suspects the primary of ``view - 1``.
 
     ``decided`` and ``accepted`` summarise the sender's log so the new
-    primary can re-propose undecided slots.
+    primary can re-propose undecided slots.  ``checkpoint`` anchors the
+    summary: it is the sender's stable-checkpoint low-water mark, every
+    summarised slot lies above it, and the new primary never re-proposes
+    at or below the highest reported checkpoint (slots there are
+    certified decided-and-applied cluster-wide) — which is also what
+    keeps view-change messages bounded once log compaction runs.
     """
 
     new_view: int
     node: NodeId
     decided: tuple[tuple[int, str], ...]
     accepted: tuple[tuple[int, str, object], ...] = ()
+    checkpoint: int = 0
 
     verify_signatures: ClassVar[int] = 1
     sign_signatures: ClassVar[int] = 1

@@ -118,6 +118,13 @@ class PaxosEngine(ConsensusEngine):
         self.host.after_decide()
 
     # ------------------------------------------------------------------
+    # checkpoint compaction (repro.recovery)
+    # ------------------------------------------------------------------
+    def compact_below(self, slot: int) -> None:
+        """Drop accepted-vote bookkeeping covered by a stable checkpoint."""
+        self._accepted.drop(lambda key: key[1] <= slot)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

@@ -132,6 +132,21 @@ class PBFTEngine(ConsensusEngine):
         self.host.after_decide()
 
     # ------------------------------------------------------------------
+    # checkpoint compaction (repro.recovery)
+    # ------------------------------------------------------------------
+    def compact_below(self, slot: int) -> None:
+        """Drop per-slot vote/item bookkeeping covered by a stable checkpoint.
+
+        Keys are ``(view, slot, digest)`` tuples, so the vote trackers
+        and the item cache are filtered on the slot component; the
+        view-change tracker (keyed on views, not slots) is untouched.
+        """
+        self._prepares.drop(lambda key: key[1] <= slot)
+        self._commits.drop(lambda key: key[1] <= slot)
+        for key in [key for key in self._items if key[1] <= slot]:
+            del self._items[key]
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

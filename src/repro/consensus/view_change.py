@@ -140,6 +140,7 @@ class ViewChangeManager:
             node=self.engine.host.node_id,
             decided=tuple(decided),
             accepted=tuple(accepted),
+            checkpoint=log.low_water_mark,
         )
 
     # ------------------------------------------------------------------
@@ -175,6 +176,10 @@ class ViewChangeManager:
             self._timer = None
         self._monitored.clear()
         self._deadlines.clear()
+        # Reports for installed (and skipped) views can never be
+        # consulted again; dropping them keeps long churny runs bounded.
+        for stale in [reported for reported in self._reports if reported <= view]:
+            del self._reports[stale]
 
     def _install_as_primary(self, view: int) -> None:
         """Become the primary of ``view``: announce it and resolve open slots."""
@@ -185,11 +190,18 @@ class ViewChangeManager:
 
         # Determine what needs re-proposing: every slot up to the highest
         # slot any replica has heard of that this primary has not applied.
+        # The scan is anchored on stable checkpoints: nothing at or below
+        # the highest reported checkpoint is touched (those slots are
+        # certified decided-and-applied cluster-wide), and a primary that
+        # finds itself *behind* that anchor fetches the missing state
+        # before it could mis-resolve slots it never saw.
         highest = host.log.next_slot - 1
         decided_digest: dict[int, str] = {}
         candidates: dict[int, Counter] = defaultdict(Counter)
         items_by_digest: dict[str, object] = {}
+        reported_checkpoints: list[int] = []
         for report in reports.values():
+            reported_checkpoints.append(report.checkpoint)
             for slot, digest in report.decided:
                 highest = max(highest, slot)
                 decided_digest[slot] = digest
@@ -198,8 +210,25 @@ class ViewChangeManager:
                 candidates[slot][digest] += 1
                 items_by_digest[digest] = item
 
+        # A reported checkpoint is only trusted once f + 1 replicas
+        # attest at least that mark (the f+1-th largest value) — one
+        # Byzantine replica inflating its ViewChange.checkpoint must not
+        # be able to suppress re-proposal of live slots.  The local
+        # low-water mark is always trusted: it was quorum-certified.
+        reported_checkpoints.sort(reverse=True)
+        faults = host.cluster.f
+        attested = (
+            reported_checkpoints[faults] if len(reported_checkpoints) > faults else 0
+        )
+        stable_floor = max(host.log.low_water_mark, attested)
+        if stable_floor > host.log.next_apply - 1:
+            transfer = getattr(host, "state_transfer", None)
+            if transfer is not None:
+                transfer.request_catch_up()
+
         spans_clusters = getattr(host, "spans_clusters", None)
-        for slot in range(host.log.next_apply, highest + 1):
+        terminator = getattr(host, "terminator", None)
+        for slot in range(max(host.log.next_apply, stable_floor + 1), highest + 1):
             entry = host.log.entry(slot)
             if entry is not None and entry.status is not EntryStatus.PENDING:
                 continue
@@ -212,7 +241,10 @@ class ViewChangeManager:
                     # us.  Re-proposing anything here — the item (which
                     # would intra-ize it) or a no-op — would conflict
                     # with that decision and fork correct replicas.
-                    # Leave the slot alone; the late commit decides it.
+                    # Run a termination round to fetch the decision
+                    # actively (the late commit remains a fallback).
+                    if terminator is not None:
+                        terminator.begin(slot, item, view)
                     continue
             else:
                 if entry is not None:
@@ -228,9 +260,15 @@ class ViewChangeManager:
                     # committing it with a single-cluster position
                     # vector would execute only the local transfers and
                     # silently break cross-shard atomicity (money
-                    # minted or lost).  Fill the slot with a no-op; the
-                    # undecided instance dies and the client's retry
-                    # runs a fresh, fully-positioned one.
+                    # minted or lost).  A termination round checks the
+                    # involved clusters for a commit quorum that formed
+                    # just before this view change and adopts it —
+                    # closing the race the immediate no-op fill used to
+                    # run — and only no-op-fills the slot when no
+                    # decision evidence exists anywhere.
+                    if terminator is not None:
+                        terminator.begin(slot, item, view)
+                        continue
                     item = Noop(reason=f"view-change-{view}-cross-slot-{slot}")
             host.log.observe(slot)
             self.engine.propose_at(slot, item)

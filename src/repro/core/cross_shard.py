@@ -66,6 +66,22 @@ class _CrashState:
     timer: Timer | None = None
 
 
+def _compact_cross_state(states: dict, assigned_slots: dict[str, int], slot: int) -> None:
+    """Garbage-collect decided per-instance state below a stable checkpoint.
+
+    Shared by both cross-shard engines: decided instances whose local
+    slot fell at or below the checkpoint can never be consulted again
+    (stale proposals are answered through the ledger's transaction
+    index), so their vote sets and slot assignments are dropped.
+    Undecided instances stay — their retry timers are still live.
+    """
+    for digest in [d for d, s in assigned_slots.items() if s <= slot]:
+        del assigned_slots[digest]
+        state = states.get(digest)
+        if state is not None and state.decided:
+            del states[digest]
+
+
 def _is_noop_filled(host, slot: int) -> bool:
     """Whether ``slot`` was resolved to a gap-filling no-op locally.
 
@@ -107,6 +123,8 @@ class CrashCrossShardEngine(HandlerTable):
         digest = item_digest(request)
         if self.host.log.decided_slot_of(digest) is not None:
             # Duplicate submission of an already-committed transaction.
+            return
+        if self._committed_before_checkpoint(request):
             return
         involved = self.host.involved_clusters_of(request.transaction)
         state = self._states.get(digest)
@@ -164,9 +182,27 @@ class CrashCrossShardEngine(HandlerTable):
     # ------------------------------------------------------------------
     # message handling (table-driven; see HandlerTable.handle)
     # ------------------------------------------------------------------
+    def _committed_before_checkpoint(self, request: ClientRequest) -> int | None:
+        """Chain position of an already-committed transaction, if any.
+
+        The log's digest index is truncated below the low-water mark, so
+        a (very) stale duplicate of a checkpointed transaction must be
+        caught through the ledger's retained transaction index instead —
+        re-running the instance would double-commit it.
+        """
+        chain = getattr(self.host, "chain", None)
+        if chain is None:
+            return None
+        tx_id = request.transaction.tx_id
+        if not chain.contains_tx(tx_id):
+            return None
+        return chain.position_of_tx(tx_id)
+
     def _on_propose(self, message: CrossPropose, src: int) -> None:
         digest = message.digest
         decided_slot = self.host.log.decided_slot_of(digest)
+        if decided_slot is None:
+            decided_slot = self._committed_before_checkpoint(message.request)
         if decided_slot is not None:
             # Already committed here: answer idempotently so a retrying
             # initiator can complete.
@@ -284,6 +320,13 @@ class CrashCrossShardEngine(HandlerTable):
             return
         self.host.after_decide()
 
+    # ------------------------------------------------------------------
+    # checkpoint compaction (repro.recovery)
+    # ------------------------------------------------------------------
+    def compact_below(self, slot: int) -> None:
+        """Drop bookkeeping for instances decided at or below ``slot``."""
+        _compact_cross_state(self._states, self._assigned_slots, slot)
+
 
 # ----------------------------------------------------------------------
 # Byzantine clusters — Algorithm 2
@@ -339,6 +382,11 @@ class ByzantineCrossShardEngine(HandlerTable):
         """Initiate consensus on a cross-shard transaction (primary only)."""
         digest = item_digest(request)
         if self.host.log.decided_slot_of(digest) is not None:
+            return
+        chain = getattr(self.host, "chain", None)
+        if chain is not None and chain.contains_tx(request.transaction.tx_id):
+            # Committed below the checkpoint low-water mark; the digest
+            # index no longer knows it, but the ledger index does.
             return
         involved = self.host.involved_clusters_of(request.transaction)
         state = self._state(digest)
@@ -416,6 +464,10 @@ class ByzantineCrossShardEngine(HandlerTable):
         state.attempt = max(state.attempt, message.attempt)
         state.announced_slots[message.initiator_cluster] = message.initiator_slot
         if self.host.log.decided_slot_of(message.digest) is not None:
+            return
+        chain = getattr(self.host, "chain", None)
+        if chain is not None and chain.contains_tx(message.request.transaction.tx_id):
+            # Committed below the checkpoint low-water mark already.
             return
         my_cluster = self.host.cluster_id
         if my_cluster == message.initiator_cluster:
@@ -546,3 +598,10 @@ class ByzantineCrossShardEngine(HandlerTable):
             self.late_commits += 1
             return
         self.host.after_decide()
+
+    # ------------------------------------------------------------------
+    # checkpoint compaction (repro.recovery)
+    # ------------------------------------------------------------------
+    def compact_below(self, slot: int) -> None:
+        """Drop bookkeeping for instances decided at or below ``slot``."""
+        _compact_cross_state(self._states, self._assigned_slots, slot)

@@ -28,6 +28,7 @@ from ..consensus.paxos import PaxosEngine
 from ..consensus.pbft import PBFTEngine
 from ..ledger.block import Block
 from ..ledger.view import ClusterView
+from ..recovery import CheckpointManager, CrossShardTerminator, StateTransferManager
 from ..sim.costs import CostModel
 from ..sim.network import Network
 from ..sim.process import Process
@@ -85,12 +86,25 @@ class SharPerReplica(Process):
         self.forwarded_requests = 0
         #: rolling withheld-sequence-number timer (see _monitor_gap).
         self._gap_timer = None
+        # Recovery subsystem: checkpointing/compaction, state transfer,
+        # and checkpoint-anchored cross-shard termination.  A zero
+        # interval disables checkpoint production (the faultless
+        # default); state transfer and termination stay armed either way.
+        self._checkpoint_interval = self.tuning.checkpoint_interval
+        self.checkpoints = CheckpointManager(self, interval=self._checkpoint_interval)
+        self.state_transfer = StateTransferManager(self)
+        self.terminator = CrossShardTerminator(self)
+        #: suppress client replies while replaying state-transferred slots.
+        self._replaying = False
         # Table-driven dispatch: merge the engines' handler tables into the
         # process-level table once, so delivery is a single dict lookup
-        # (the message sets of the two engines are disjoint).
+        # (the message sets of the engines and managers are disjoint).
         self.register_handler(ClientRequest, self._on_client_request)
         self.register_handlers(self.cross.handlers())
         self.register_handlers(self.intra.handlers())
+        self.register_handlers(self.checkpoints.handlers())
+        self.register_handlers(self.state_transfer.handlers())
+        self.register_handlers(self.terminator.handlers())
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -250,13 +264,37 @@ class SharPerReplica(Process):
     def after_decide(self) -> None:
         """Apply every decided slot that is next in line (in slot order)."""
         log = self.log
-        for entry in log.pop_applicable():
-            self._apply(entry)
+        interval = self._checkpoint_interval
+        if interval:
+            # Checkpoint exactly at interval boundaries, *inside* the
+            # apply run: the chain head and store then reflect precisely
+            # slots 1..seq, which is what makes the digest match across
+            # the cluster.
+            for entry in log.pop_applicable():
+                self._apply(entry)
+                if entry.slot % interval == 0:
+                    self.checkpoints.take(entry.slot)
+        else:
+            for entry in log.pop_applicable():
+                self._apply(entry)
         # Inlined blocked_decisions read and timer guard: this runs once
         # per decide, on the hottest protocol path in the repo, and the
         # gap timer is almost always already armed while pipelining.
         if log._blocked_decisions and self._gap_timer is None:
             self._monitor_gap()
+
+    def replay_decided(self) -> None:
+        """Apply state-transferred slots without re-sending client replies.
+
+        The original commit already answered the client (possibly while
+        this replica was down); replaying must reconstruct chain and
+        store state bit-identically but stay silent on the client side.
+        """
+        self._replaying = True
+        try:
+            self.after_decide()
+        finally:
+            self._replaying = False
 
     def _monitor_gap(self) -> None:
         """Watch decided-but-blocked slots (withheld sequence numbers).
@@ -288,6 +326,10 @@ class SharPerReplica(Process):
         if not self.log.blocked_decisions:
             return
         if self.log.next_apply == next_apply_at_arm and self.intra.view == view_at_arm:
+            # The missing slot may simply have been decided while we
+            # were unreachable — fetch it from peers before (also)
+            # suspecting the primary of withholding it.
+            self.state_transfer.request_catch_up()
             self.intra.view_change.suspect_primary()
         # Still blocked (progress, a view change in flight, or a fresh
         # stall): keep watching until the gap clears.
@@ -368,9 +410,30 @@ class SharPerReplica(Process):
         self.chain.append(Block.noop(positions, proposer=proposer, parents=parents))
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def recover(self) -> None:
+        """Restart after a crash and actively catch up on missed slots.
+
+        State is retained (Section 2.1), but slots decided while the
+        replica was down would otherwise leave it alive-but-deaf: it
+        receives new traffic yet can never apply past the gap.  A
+        state-transfer round fetches the latest stable checkpoint plus
+        the decided suffix from the cluster peers, after which the
+        replica serves requests and votes in quorums again.
+        """
+        was_crashed = self.crashed
+        super().recover()
+        if was_crashed:
+            self.state_transfer.request_catch_up()
+
+    # ------------------------------------------------------------------
     # client replies
     # ------------------------------------------------------------------
     def _should_reply(self, proposer: ClusterId) -> bool:
+        if self._replaying:
+            # State-transfer replay: the original commit already replied.
+            return False
         if self.cluster.fault_model is FaultModel.BYZANTINE:
             return True
         # Crash model: only the primary of the initiating cluster replies.

@@ -186,7 +186,14 @@ class BaseSystem:
         self._process_by_pid(node_id).crash()
 
     def recover_node(self, node_id: int) -> None:
-        """Restart a crashed replica (state retained, as in Section 2.1)."""
+        """Restart a crashed replica (state retained, as in Section 2.1).
+
+        SharPer replicas additionally run a state-transfer round on
+        recovery (:mod:`repro.recovery`): slots decided — and possibly
+        garbage-collected — while the node was down are fetched from its
+        cluster peers, so the node catches up and rejoins consensus
+        instead of staying alive-but-deaf behind an apply gap.
+        """
         self._process_by_pid(node_id).recover()
 
     def crash_primary(self, cluster_id: ClusterId) -> None:

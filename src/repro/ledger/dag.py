@@ -33,6 +33,10 @@ class BlockDAG:
         self.genesis = genesis or Block.genesis()
         self._blocks: dict[str, Block] = {self.genesis.block_hash: self.genesis}
         self._slot_index: dict[tuple[ClusterId, int], str] = {}
+        #: per-cluster position at or below which the owning view pruned
+        #: its chain (stable checkpoints, :mod:`repro.recovery`); the
+        #: contiguity invariant is only checkable above this floor.
+        self.contiguity_floor: dict[ClusterId, int] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -69,6 +73,7 @@ class BlockDAG:
         dag = cls(genesis=views[0].genesis if views else None)
         for view in views:
             view.verify()
+            dag.contiguity_floor[view.cluster_id] = view.pruned_height
             for block in view.blocks():
                 dag.add_block(block)
         return dag
@@ -186,10 +191,25 @@ class BlockDAG:
         return False
 
     def check_contiguity(self) -> None:
-        """Check that every cluster's positions form the range ``1..k``."""
+        """Check that every cluster's positions form a contiguous range.
+
+        Unpruned views contribute the full range ``1..k``.  Views pruned
+        by stable checkpoints (:mod:`repro.recovery`) are only checkable
+        above their :attr:`contiguity_floor`: the compacted prefix is
+        certified by the checkpoint quorum, and *other* clusters' views
+        may still retain scattered old cross-shard blocks positioned
+        inside it, which must not be mistaken for gaps.
+        """
         for cluster in self.clusters():
-            chain = self.chain_of(cluster)
-            for expected_index, block in enumerate(chain, start=1):
+            floor = self.contiguity_floor.get(cluster, 0)
+            chain = [
+                block
+                for block in self.chain_of(cluster)
+                if block.position_for(cluster) > floor
+            ]
+            # An unpruned cluster (floor 0) must cover 1..k exactly —
+            # a chain starting above 1 is a real gap, not compaction.
+            for expected_index, block in enumerate(chain, start=floor + 1):
                 actual_index = block.position_for(cluster)
                 if actual_index != expected_index:
                     raise LedgerError(

@@ -57,14 +57,40 @@ def check_pairwise_cross_order(
 ) -> list[str]:
     """Check that blocks shared by two views appear in the same order.
 
+    Views pruned by stable checkpoints (:mod:`repro.recovery`) may have
+    dropped old cross-shard blocks the other view still retains; a block
+    is only reported missing when its position in the other view lies
+    *above* that view's pruned prefix (for compacted positions the
+    retained transaction index already vouched for it at append time).
+
     Returns a list of human-readable problems (empty when consistent).
     """
     problems: list[str] = []
-    hashes_a = [block.block_hash for block in view_a.blocks() if block.involves(view_b.cluster_id)]
-    hashes_b = [block.block_hash for block in view_b.blocks() if block.involves(view_a.cluster_id)]
+    shared_a = {
+        block.block_hash: block
+        for block in view_a.blocks()
+        if block.involves(view_b.cluster_id)
+    }
+    shared_b = {
+        block.block_hash: block
+        for block in view_b.blocks()
+        if block.involves(view_a.cluster_id)
+    }
+    hashes_a = list(shared_a)
+    hashes_b = list(shared_b)
     if set(hashes_a) != set(hashes_b):
-        only_a = set(hashes_a) - set(hashes_b)
-        only_b = set(hashes_b) - set(hashes_a)
+        only_a = {
+            block_hash
+            for block_hash, block in shared_a.items()
+            if block_hash not in shared_b
+            and block.position_for(view_b.cluster_id) > view_b.pruned_height
+        }
+        only_b = {
+            block_hash
+            for block_hash, block in shared_b.items()
+            if block_hash not in shared_a
+            and block.position_for(view_a.cluster_id) > view_a.pruned_height
+        }
         if only_a:
             problems.append(
                 f"blocks {sorted(h[:8] for h in only_a)} involve cluster {view_b.cluster_id} "

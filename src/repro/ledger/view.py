@@ -13,6 +13,14 @@ Appending enforces the two properties the paper relies on:
   every position is filled exactly once (no forks, no gaps);
 * **hash-chain integrity** — block ``k``'s parent reference for this
   cluster must equal the hash of block ``k-1``.
+
+Stable checkpoints (:mod:`repro.recovery`) *prune* the view: block
+objects at positions at or below the checkpoint are dropped (bounding
+memory for arbitrarily long runs), keeping the checkpointed block as the
+chain *anchor* — the hash-chain base for subsequent appends — and the
+full transaction index, which keeps answering the at-most-once duplicate
+checks for compacted history.  :attr:`ClusterView.height` keeps counting
+from genesis, so heights and positions are stable across pruning.
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ class ClusterView:
         self._blocks: list[Block] = [self._genesis]
         self._by_hash: dict[str, Block] = {self._genesis.block_hash: self._genesis}
         self._tx_index: dict[str, int] = {}
+        #: position of ``_blocks[0]`` (0 = genesis; > 0 after pruning,
+        #: where ``_blocks[0]`` is the checkpointed anchor block).
+        self._base = 0
 
     # ------------------------------------------------------------------
     # read access
@@ -48,13 +59,27 @@ class ClusterView:
 
     @property
     def height(self) -> int:
-        """Number of non-genesis blocks in the view."""
-        return len(self._blocks) - 1
+        """Number of committed blocks, pruned history included."""
+        return self._base + len(self._blocks) - 1
 
     @property
     def next_index(self) -> int:
         """Position the next appended block must occupy."""
-        return len(self._blocks)
+        return self._base + len(self._blocks)
+
+    @property
+    def pruned_height(self) -> int:
+        """Highest position whose block object may have been pruned away.
+
+        0 for an unpruned view; audits tolerate blocks missing from this
+        view when their position here is at or below this mark.
+        """
+        return self._base
+
+    @property
+    def retained_from(self) -> int:
+        """Lowest position :meth:`blocks` still returns a block for."""
+        return self._base + 1
 
     @property
     def head(self) -> Block:
@@ -76,14 +101,19 @@ class ClusterView:
         return block_hash in self._by_hash
 
     def blocks(self, include_genesis: bool = False) -> list[Block]:
-        """The chain as a list, oldest first."""
+        """The retained chain as a list, oldest first.
+
+        Blocks strictly above the prune anchor; ``include_genesis`` also
+        includes the anchor itself (the genesis block when unpruned).
+        """
         return list(self._blocks) if include_genesis else list(self._blocks[1:])
 
     def block_at(self, index: int) -> Block:
         """Block occupying position ``index`` (position 0 is the genesis)."""
-        if not 0 <= index < len(self._blocks):
+        offset = index - self._base
+        if not 0 <= offset < len(self._blocks):
             raise UnknownBlockError(f"view of cluster {self.cluster_id} has no block at {index}")
-        return self._blocks[index]
+        return self._blocks[offset]
 
     def block_by_hash(self, block_hash: str) -> Block:
         """Block identified by ``block_hash``."""
@@ -131,7 +161,7 @@ class ClusterView:
             raise LedgerError(
                 f"block {block.label()} does not involve cluster {cluster_id}"
             )
-        if position != len(self._blocks):
+        if position != self._base + len(self._blocks):
             raise ForkError(
                 f"cluster {cluster_id}: block {block.label()} targets position "
                 f"{position} but the next free position is {self.next_index}"
@@ -160,14 +190,67 @@ class ClusterView:
             tx_index[transaction.tx_id] = position
 
     # ------------------------------------------------------------------
+    # checkpointing support (repro.recovery)
+    # ------------------------------------------------------------------
+    def prune(self, upto: int) -> int:
+        """Drop block objects at positions ``<= upto`` (stable-checkpoint GC).
+
+        The block at position ``upto`` is retained as the new chain
+        anchor (its hash is the parent reference of position ``upto+1``
+        and the base for state-transfer verification); the transaction
+        index is kept in full so duplicate detection survives pruning.
+        Returns the number of block objects dropped.
+        """
+        upto = min(upto, self.height)
+        if upto <= self._base:
+            return 0
+        keep_from = upto - self._base
+        dropped = self._blocks[:keep_from]
+        self._blocks = self._blocks[keep_from:]
+        for block in dropped:
+            self._by_hash.pop(block.block_hash, None)
+        self._base = upto
+        return len(dropped)
+
+    def install_anchor(self, anchor: Block, tx_index: dict[str, int]) -> None:
+        """Reset the view onto a state-transferred checkpoint anchor.
+
+        The view becomes a fully pruned chain whose only retained block
+        is ``anchor`` (the block at the checkpoint position of this
+        cluster's chain); ``tx_index`` supplies the at-most-once index
+        for the compacted history.  Subsequent appends chain off the
+        anchor exactly as they would on the helper replica.
+        """
+        position = 0 if anchor.is_genesis else anchor.position_for(self.cluster_id)
+        self._blocks = [anchor]
+        self._by_hash = {anchor.block_hash: anchor}
+        self._tx_index = dict(tx_index)
+        self._base = position
+
+    def tx_index_upto(self, position: int) -> tuple[tuple[str, int], ...]:
+        """The ``(tx_id, position)`` pairs committed at or below ``position``.
+
+        Shipped with state-transfer snapshots so a joiner's duplicate
+        detection covers the history its pruned chain cannot re-derive.
+        """
+        return tuple(
+            (tx_id, index) for tx_id, index in self._tx_index.items() if index <= position
+        )
+
+    # ------------------------------------------------------------------
     # verification
     # ------------------------------------------------------------------
     def verify(self) -> None:
-        """Re-walk the chain and raise if any invariant is violated."""
+        """Re-walk the retained chain and raise if any invariant is violated.
+
+        A pruned view is verified from its anchor: the anchor itself is
+        certified by the stable-checkpoint quorum, and every retained
+        block above it must chain correctly.
+        """
         previous = self._blocks[0]
-        if not previous.is_genesis:
+        if self._base == 0 and not previous.is_genesis:
             raise LedgerError("view does not start at the genesis block")
-        for index, block in enumerate(self._blocks[1:], start=1):
+        for index, block in enumerate(self._blocks[1:], start=self._base + 1):
             if block.position_for(self.cluster_id) != index:
                 raise ForkError(
                     f"cluster {self.cluster_id}: block at chain offset {index} claims "

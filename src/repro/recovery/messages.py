@@ -1,0 +1,151 @@
+"""Protocol messages of the recovery subsystem.
+
+Same conventions as :mod:`repro.consensus.messages`: frozen dataclasses
+shared by every destination of a multicast, with class-level signature
+counts feeding the CPU cost model.  All recovery messages are signed —
+checkpoint certificates and state-transfer responses are only meaningful
+when their origin can be authenticated, and the messages are rare enough
+(one checkpoint per ``interval`` decided slots; state transfer only on
+recovery) that the signing cost is negligible either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..common.types import ClusterId, NodeId
+
+__all__ = [
+    "Checkpoint",
+    "StateRequest",
+    "StateResponse",
+    "TerminationDecision",
+    "TerminationReply",
+    "TerminationRequest",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """Replica → cluster: "my state after applying slot ``seq`` digests to ``digest``".
+
+    An intra-shard quorum of matching ``(seq, digest)`` pairs makes the
+    checkpoint *stable* and authorises garbage collection below ``seq``.
+    """
+
+    seq: int
+    digest: str
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class StateRequest:
+    """Recovering/lagging replica → cluster peers: send me your state.
+
+    ``have_seq`` is the highest slot the requester has applied; helpers
+    answer with their stable checkpoint (if it is newer) plus the suffix
+    of decided slots above it.
+    """
+
+    node: NodeId
+    have_seq: int
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class StateResponse:
+    """Helper → requester: stable checkpoint + decided-slot suffix.
+
+    ``checkpoint_seq`` is 0 (with no snapshot) when the helper has no
+    stable checkpoint newer than the requester's ``have_seq`` — the
+    suffix alone then carries the catch-up.  ``entries`` holds
+    ``(slot, digest, item, positions, proposer, view)`` tuples for every
+    decided slot above ``checkpoint_seq``; ``tx_index`` maps committed
+    transaction ids to chain positions at or below the checkpoint (the
+    at-most-once index the pruned chain can no longer reconstruct).
+    Receivers must not mutate the payload (``snapshot`` and ``tx_index``
+    are installed by copy).
+    """
+
+    checkpoint_seq: int
+    checkpoint_digest: str
+    node: NodeId
+    view: int
+    anchor: object | None
+    snapshot: object | None
+    tx_index: tuple[tuple[str, int], ...]
+    entries: tuple[tuple[int, str, object, tuple, ClusterId, int], ...]
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TerminationRequest:
+    """New primary → nodes of the involved clusters: did this instance decide?
+
+    Sent during view installation for every in-flight cross-shard
+    instance (identified by its request ``digest``) occupying local
+    ``slot``, before the slot may be filled with a no-op.  ``tx_id``
+    lets helpers answer from the ledger's retained transaction index
+    even after the decision itself was checkpointed and compacted.
+    """
+
+    digest: str
+    tx_id: str
+    slot: int
+    view: int
+    cluster: ClusterId
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TerminationReply:
+    """Involved node → asking primary: local verdict on the instance.
+
+    ``decided`` nodes attach the full position vector, the proposer, and
+    the ordered item so the asker can adopt the decision; undecided
+    nodes reply with ``decided=False`` (the asker no-op-fills only after
+    its termination timer expires with no decision evidence).
+    """
+
+    digest: str
+    decided: bool
+    slot: int
+    positions: tuple[tuple[ClusterId, int], ...]
+    proposer: ClusterId | None
+    item: object | None
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TerminationDecision:
+    """Primary → cluster backups: adopt this terminated cross-shard decision.
+
+    Trusted from the current primary only — the same (documented)
+    simplification the view change already makes for ``NewView``
+    re-proposals; the item is still bound to the digest, which backups
+    re-verify.
+    """
+
+    digest: str
+    positions: tuple[tuple[ClusterId, int], ...]
+    proposer: ClusterId
+    item: object
+    view: int
+    node: NodeId
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1

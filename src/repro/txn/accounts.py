@@ -15,6 +15,7 @@ a simple modulo/range partitioning.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
@@ -183,6 +184,42 @@ class AccountStore:
     # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
+    @staticmethod
+    def digest_entries(entries: "Iterable[tuple[AccountId, ClientId, int]]") -> str:
+        """Digest of ``(account_id, owner, balance)`` triples, in given order.
+
+        The single definition of the store digest format — shared by
+        :meth:`state_digest` (live store) and :meth:`snapshot_digest`
+        (shipped snapshot), which must agree byte for byte for
+        state-transfer verification to work.
+        """
+        hasher = hashlib.sha256()
+        for account_id, owner, balance in entries:
+            hasher.update(f"{int(account_id)}:{int(owner)}:{balance};".encode())
+        return hasher.hexdigest()
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the full balance table.
+
+        Iterates accounts in sorted id order, so every replica that
+        applied the same transaction prefix — regardless of how its
+        store was built (bootstrap or :meth:`restore`) — produces the
+        same digest.  This is the store half of a checkpoint digest
+        (:func:`repro.recovery.checkpoint_digest`).
+        """
+        accounts = self._accounts
+        return self.digest_entries(
+            (account_id, accounts[account_id].owner, accounts[account_id].balance)
+            for account_id in sorted(accounts)
+        )
+
+    @classmethod
+    def snapshot_digest(cls, snapshot: "Mapping[AccountId, tuple[ClientId, int]]") -> str:
+        """:meth:`state_digest` recomputed from a :meth:`snapshot` mapping."""
+        return cls.digest_entries(
+            (account_id, *snapshot[account_id]) for account_id in sorted(snapshot)
+        )
+
     def snapshot(self) -> dict[AccountId, tuple[ClientId, int]]:
         """Cheap copy of the full state, used by tests and state transfer."""
         return {
