@@ -5,17 +5,31 @@ Run with::
     python examples/byzantine_attacks.py                 # full sweep, 3 seeds
     python examples/byzantine_attacks.py --quick         # CI-sized smoke run
     python examples/byzantine_attacks.py --attack equivocating-primary
+    python examples/byzantine_attacks.py --attack duplicating-client
+    python examples/byzantine_attacks.py --attack coalition
 
 The paper claims SharPer stays safe with up to ``f`` Byzantine replicas
-per cluster (Section 2.1).  This example makes that claim executable:
-for every registered adversary behaviour (equivocation, silence,
-selective silence, delay attacks, vote withholding, digest tampering)
-it turns the primary of one cluster Byzantine mid-run, sweeps the
-cross-shard fraction, and checks the run with the cross-replica
-:class:`repro.adversary.SafetyAuditor` — no two correct replicas may
-fork, balances must be conserved, and every transaction must execute at
-most once.  The process exits non-zero if any scenario violates safety,
-so this file doubles as the CI ``byzantine-smoke`` gate.
+per cluster and correct clients (Section 2.1).  This example makes both
+claims executable.  For every registered adversary behaviour it runs the
+matching attack shape —
+
+* **replica behaviours** (equivocation, silence, delay, vote
+  withholding, digest tampering, forged views, the adaptive
+  quorum-aware equivocator) turn the primary of one cluster Byzantine
+  mid-run;
+* **client behaviours** (duplicated/replayed requests, forged-signature
+  impersonation, ownership-violating transfers) turn one client
+  Byzantine, with the replica-side request guards armed against it;
+* the **coalition** pseudo-attack binds a delay-attacker on the
+  initiator cluster's primary and a vote-withholder in a remote cluster
+  to one shared cross-shard target list —
+
+sweeps the cross-shard fraction, and checks every run with the
+cross-replica :class:`repro.adversary.SafetyAuditor`: no two correct
+replicas may fork, balances must be conserved, and every transaction
+must execute at most once.  The process exits non-zero if any scenario
+violates safety, so this file doubles as the CI ``byzantine-smoke``
+gate.  See ``docs/adversary.md`` for the full threat-model catalogue.
 """
 
 from __future__ import annotations
@@ -23,15 +37,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.adversary import available_behaviors
-from repro.bench.experiments import ATTACK_CROSS_FRACTIONS, run_attack_sweep
+from repro.bench.experiments import (
+    ATTACK_CROSS_FRACTIONS,
+    default_attack_names,
+    run_attack_sweep,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--attack", action="append", metavar="NAME",
-        help="behavior(s) to run (default: every registered behavior)",
+        help="attack(s) to run: a behavior registry name (replica or client "
+        "target) or 'coalition' (default: everything registered)",
     )
     parser.add_argument("--seeds", type=int, default=3, help="seeds per point (default 3)")
     parser.add_argument("--clusters", type=int, default=2, help="number of clusters")
@@ -48,12 +66,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    behaviors = args.attack or sorted(available_behaviors())
+    behaviors = args.attack or default_attack_names()
     seeds = tuple(range(1, (1 if args.quick else args.seeds) + 1))
     duration = 0.3 if args.quick else args.duration
 
     print(
-        f"== Byzantine attack sweep: {len(behaviors)} behaviors x "
+        f"== Byzantine attack sweep: {len(behaviors)} attacks x "
         f"{len(ATTACK_CROSS_FRACTIONS)} cross-shard fractions x {len(seeds)} seeds =="
     )
     results = run_attack_sweep(
@@ -92,7 +110,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"all {len(results)} adversary scenarios safe: no fork among correct "
-        "replicas, balances conserved, at-most-once execution"
+        "replicas, balances conserved, at-most-once execution — under replica, "
+        "client, and colluding adversaries alike"
     )
     return 0
 

@@ -48,16 +48,20 @@ import random
 from dataclasses import replace as dataclass_replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Type, TypeVar
 
+from ..common.crypto import Signature
 from ..common.errors import ConfigurationError, RegistrationError
 from ..consensus.log import Noop, item_digest
 from ..consensus.messages import (
     CrossAccept,
     CrossAcceptB,
     CrossCommitB,
+    NewView,
+    NewViewAnnouncement,
     PaxosAccepted,
     PBFTCommit,
     Prepare,
     PrePrepare,
+    ViewChange,
 )
 from .interceptor import MessageInterceptor, Outbound
 
@@ -68,6 +72,7 @@ __all__ = [
     "AdversaryBehavior",
     "DelayAttacker",
     "EquivocatingPrimary",
+    "ForgedViewAttacker",
     "QuorumAwareEquivocator",
     "SelectiveSilence",
     "SilentPrimary",
@@ -144,12 +149,20 @@ def get_behavior(name: str) -> Type["AdversaryBehavior"]:
         ) from None
 
 
-def available_behaviors() -> dict[str, Type["AdversaryBehavior"]]:
-    """A snapshot of the registry: sorted canonical name -> class."""
+def available_behaviors(
+    target: str | None = "replica",
+) -> dict[str, Type["AdversaryBehavior"]]:
+    """A snapshot of the registry: sorted canonical name -> class.
+
+    ``target`` filters by the surface a behaviour attacks — ``"replica"``
+    (the default, preserving the pre-client-adversary contract of
+    sweeps that attach every listed behaviour to a replica), ``"client"``
+    for Byzantine-client behaviours, or ``None`` for everything.
+    """
     return {
         name: cls
         for name, cls in sorted(_BEHAVIORS.items())
-        if cls.registry_name == name
+        if cls.registry_name == name and (target is None or cls.target == target)
     }
 
 
@@ -180,6 +193,10 @@ class AdversaryBehavior(MessageInterceptor):
 
     #: canonical registry name, set by :func:`register_behavior`.
     registry_name = ""
+    #: which surface the behaviour attacks: ``"replica"`` behaviours
+    #: attach to consensus nodes, ``"client"`` behaviours (see
+    #: :mod:`repro.adversary.clients`) to client processes.
+    target = "replica"
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
@@ -450,3 +467,106 @@ class EquivocatingPrimary(AdversaryBehavior):
         if dst in victims:
             return self.emit(Outbound(dst=dst, message=forged))
         return self.pass_through()
+
+
+@register_behavior("forged-view", aliases=("view-inflator",))
+class ForgedViewAttacker(AdversaryBehavior):
+    """Inflate view numbers to self-elect — the forged-view attack.
+
+    Primaries rotate round-robin, so every node is the designated
+    primary of infinitely many future views.  This behaviour rewrites
+    the ``view`` of every outbound pre-prepare to the next future view
+    whose primary the host is, and fabricates the takeover paperwork a
+    real fail-over would produce: a :class:`NewView` to its cluster
+    peers and a :class:`NewViewAnnouncement` to every remote node, both
+    carrying a *fabricated* certificate of view-change votes "from" its
+    peers (with forged signatures — the adversary cannot sign for
+    correct nodes).
+
+    Against the pre-certificate protocol this captures the primary seat
+    outright: backups trusted ``message.view`` and adopted the inflated
+    view.  Against the authenticated view change it must fail on every
+    path — backups park pre-prepares for uninstalled views, the
+    fabricated certificates never verify, and state transfer only adopts
+    quorum-attested views — so the attacker merely goes silent in its
+    real view and loses its seat to an honest timeout-driven view
+    change.  The :class:`~repro.adversary.auditor.SafetyAuditor` must
+    keep passing throughout.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._target_view: int | None = None
+        self._announced = False
+        self.forged_pre_prepares = 0
+
+    def _target(self) -> int | None:
+        """Next future view whose round-robin primary this node is."""
+        if self._target_view is not None:
+            return self._target_view
+        process = self.process
+        cluster = getattr(process, "cluster", None)
+        engine = getattr(process, "intra", None)
+        if cluster is None or engine is None:
+            return None
+        view = engine.view + 1
+        while int(cluster.primary_for_view(view)) != process.pid:
+            view += 1
+        self._target_view = view
+        return view
+
+    def _takeover_messages(self, target: int) -> list[Outbound]:
+        """Fabricated NewView + cross-cluster announcements for ``target``."""
+        process = self.process
+        cluster = process.cluster
+        certificate = tuple(
+            ViewChange(
+                new_view=target,
+                node=peer,
+                decided=(),
+                accepted=(),
+                checkpoint=0,
+                signature=Signature(
+                    signer=int(peer), payload_digest="forged", forged=True
+                ),
+            )
+            for peer in cluster.node_ids
+        )
+        new_view = NewView(
+            view=target, node=process.node_id, entries=(), certificate=certificate
+        )
+        actions = [
+            Outbound(dst=peer, message=new_view) for peer in self.cluster_peers()
+        ]
+        config = getattr(process, "config", None)
+        nodes_of_clusters = getattr(process, "nodes_of_clusters", None)
+        if config is not None and nodes_of_clusters is not None:
+            announcement = NewViewAnnouncement(
+                cluster=cluster.cluster_id,
+                view=target,
+                node=process.node_id,
+                certificate=certificate,
+            )
+            actions.extend(
+                Outbound(dst=node, message=announcement)
+                for node in nodes_of_clusters(
+                    remote.cluster_id
+                    for remote in config.clusters
+                    if remote.cluster_id != cluster.cluster_id
+                )
+            )
+        return actions
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if type(message) is not PrePrepare:
+            return self.pass_through()
+        target = self._target()
+        if target is None:
+            return self.pass_through()
+        forged = dataclass_replace(message, view=target)
+        self.forged_pre_prepares += 1
+        actions = [Outbound(dst=dst, message=forged)]
+        if not self._announced:
+            self._announced = True
+            actions.extend(self._takeover_messages(target))
+        return self.emit(*actions)

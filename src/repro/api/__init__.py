@@ -23,8 +23,10 @@ from .faults import (
     CrashPrimary,
     FaultEvent,
     FaultSchedule,
+    FormCoalition,
     Heal,
     MakeByzantine,
+    MakeClientByzantine,
     MakePrimaryByzantine,
     PartitionClusters,
     RecoverNode,
@@ -40,8 +42,10 @@ __all__ = [
     "DeploymentSpec",
     "FaultEvent",
     "FaultSchedule",
+    "FormCoalition",
     "Heal",
     "MakeByzantine",
+    "MakeClientByzantine",
     "MakePrimaryByzantine",
     "PartitionClusters",
     "RecoverNode",

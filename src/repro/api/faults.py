@@ -9,7 +9,9 @@ happens when* up front::
         FaultSchedule()
         .crash_primary(at=0.05, cluster=0)
         .make_byzantine(at=0.08, node=4, behavior="equivocating-primary")
-        .partition(at=0.10, groups=[[0], [1, 2, 3]])
+        .make_client_byzantine(at=0.09, client=0, behavior="duplicating-client")
+        .form_coalition(at=0.10, members={0: "delay-attacker", 5: "vote-withholder"})
+        .partition(at=0.12, groups=[[0], [1, 2, 3]])
         .heal(at=0.15)
         .restore(at=0.20, node=4)
     )
@@ -42,8 +44,10 @@ __all__ = [
     "CrashPrimary",
     "FaultEvent",
     "FaultSchedule",
+    "FormCoalition",
     "Heal",
     "MakeByzantine",
+    "MakeClientByzantine",
     "MakePrimaryByzantine",
     "PartitionClusters",
     "RecoverNode",
@@ -192,6 +196,54 @@ class MakePrimaryByzantine(FaultEvent):
 
 
 @dataclass(frozen=True)
+class MakeClientByzantine(FaultEvent):
+    """Attach a *client* adversary behaviour to one spawned client.
+
+    ``client`` indexes the system's clients in spawn order; ``behavior``
+    is a client-target registry name (``duplicating-client``,
+    ``forged-signature-client``, ``ownership-violator-client``, …) or a
+    ready instance.  Arming any adversary also arms the replica-side
+    request guards (:meth:`repro.core.system.BaseSystem.arm_request_guards`).
+    """
+
+    adversarial = True
+
+    client: int = 0
+    behavior: "str | AdversaryBehavior" = "duplicating-client"
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.make_client_byzantine(self.client, self.behavior)
+
+    def describe(self) -> str:
+        label = self.behavior if isinstance(self.behavior, str) else self.behavior.describe()
+        return f"make client {self.client} byzantine ({label}) @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
+class FormCoalition(FaultEvent):
+    """Bind Byzantine replicas in different clusters to one shared script.
+
+    ``members`` maps node ids to the behaviour each coalition member
+    gates on the shared target set (see
+    :class:`repro.adversary.Coalition`).  The coalition object itself is
+    built at apply time, so schedules stay picklable and worker pools
+    construct private instances.
+    """
+
+    adversarial = True
+
+    members: tuple[tuple[int, str], ...] = ()
+    seed: int = 0
+
+    def apply(self, system: "BaseSystem") -> None:
+        system.form_coalition(dict(self.members), seed=self.seed)
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{node}:{behavior}" for node, behavior in self.members)
+        return f"form coalition [{rendered}] @ t={self.time:.3f}s"
+
+
+@dataclass(frozen=True)
 class RestoreNode(FaultEvent):
     """Restore a Byzantine replica to correct behaviour (detach adversary)."""
 
@@ -265,6 +317,20 @@ class FaultSchedule:
     ) -> "FaultSchedule":
         """Attach an adversary behaviour to ``cluster``'s initial primary."""
         return self.add(MakePrimaryByzantine(time=at, cluster=cluster, behavior=behavior))
+
+    def make_client_byzantine(
+        self, at: float, client: int, behavior: "str | AdversaryBehavior" = "duplicating-client"
+    ) -> "FaultSchedule":
+        """Attach a client adversary behaviour to spawned client ``client``."""
+        return self.add(MakeClientByzantine(time=at, client=client, behavior=behavior))
+
+    def form_coalition(
+        self, at: float, members: "dict[int, str] | Sequence[tuple[int, str]]", seed: int = 0
+    ) -> "FaultSchedule":
+        """Bind the given replicas to one colluding script at time ``at``."""
+        pairs = members.items() if isinstance(members, dict) else members
+        frozen = tuple(sorted((int(node), str(behavior)) for node, behavior in pairs))
+        return self.add(FormCoalition(time=at, members=frozen, seed=seed))
 
     def restore(self, at: float, node: int) -> "FaultSchedule":
         """Restore Byzantine replica ``node`` to correct behaviour at ``at``."""

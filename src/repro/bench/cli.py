@@ -29,12 +29,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..adversary import available_behaviors
+from ..adversary import available_behaviors, get_behavior
 from ..api import DeploymentSpec, FaultSchedule, Scenario, available_systems
 from ..common.errors import SharPerError
 from ..common.types import FaultModel
 from ..txn.workload import WorkloadConfig
-from .experiments import FULL_CLIENTS, QUICK_CLIENTS, list_figures, run_figure
+from .experiments import (
+    COALITION_ATTACK,
+    FULL_CLIENTS,
+    QUICK_CLIENTS,
+    coalition_members,
+    list_figures,
+    run_figure,
+)
 from .reporting import format_figure, write_csv
 
 __all__ = ["main"]
@@ -103,8 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument(
         "--attack", metavar="NAME", default=None,
-        help="scenario: turn a cluster primary Byzantine with this adversary "
-        "behavior (registry name, see --list-attacks)",
+        help="scenario: arm this adversary (registry name, see --list-attacks). "
+        "Replica behaviors attach to a cluster primary, client behaviors to "
+        "the first client, and 'coalition' forms the default colluding pair "
+        "(initiator-primary delayer + remote vote-withholder)",
     )
     scenario.add_argument(
         "--attack-at", type=float, default=0.05, metavar="T",
@@ -137,6 +146,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _schedule_attack(args: argparse.Namespace, faults: FaultSchedule) -> None:
+    """Route ``--attack NAME`` to the fault event its target needs."""
+    if args.attack is None:
+        return
+    if args.attack == COALITION_ATTACK:
+        faults.form_coalition(
+            at=args.attack_at,
+            members=coalition_members(args.clusters, byzantine=args.byzantine),
+        )
+    elif get_behavior(args.attack).target == "client":
+        faults.make_client_byzantine(at=args.attack_at, client=0, behavior=args.attack)
+    else:
+        faults.make_primary_byzantine(
+            at=args.attack_at, cluster=args.attack_cluster, behavior=args.attack
+        )
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     faults = FaultSchedule()
     if args.crash_primary_at is not None:
@@ -145,11 +171,12 @@ def _run_scenario(args: argparse.Namespace) -> int:
         faults.crash_node(at=args.crash_node_at, node_id=args.crash_node)
     if args.recover_node_at is not None:
         faults.recover_node(at=args.recover_node_at, node_id=args.crash_node)
-    if args.attack is not None:
-        faults.make_primary_byzantine(
-            at=args.attack_at, cluster=args.attack_cluster, behavior=args.attack
-        )
     fault_model = FaultModel.BYZANTINE if args.byzantine else FaultModel.CRASH
+    try:
+        _schedule_attack(args, faults)
+    except (SharPerError, ValueError) as error:
+        print(f"sharper-bench: error: {error}", file=sys.stderr)
+        return 2
     if faults and not args.quiet:
         for event in faults:
             print(f"  scheduled: {event.describe()}", file=sys.stderr)
@@ -186,10 +213,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:10s} {system_cls.__module__}.{system_cls.__qualname__}")
         return 0
     if args.list_attacks:
-        print("registered adversary behaviors:")
+        print("registered adversary behaviors (replica-target):")
         for name, behavior_cls in available_behaviors().items():
             blurb = (behavior_cls.__doc__ or behavior_cls.__name__).strip().splitlines()[0]
-            print(f"  {name:22s} {blurb}")
+            print(f"  {name:26s} {blurb}")
+        print("registered adversary behaviors (client-target):")
+        for name, behavior_cls in available_behaviors("client").items():
+            blurb = (behavior_cls.__doc__ or behavior_cls.__name__).strip().splitlines()[0]
+            print(f"  {name:26s} {blurb}")
+        print("composite attacks:")
+        print(
+            f"  {COALITION_ATTACK:26s} colluding pair: initiator-primary "
+            "delay-attacker + remote vote-withholder on shared cross-shard targets"
+        )
         return 0
     if args.scenario:
         if args.figures or args.csv or args.full or args.jobs != 1 or args.seeds != 1:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-from ..adversary import available_behaviors
+from ..adversary import available_behaviors, get_behavior
 from ..api import DeploymentSpec, FaultSchedule, Scenario, ScenarioResult, run_scenarios
 from ..common.types import FaultModel
 from ..txn.workload import WorkloadConfig
@@ -39,8 +39,12 @@ __all__ = [
     "QUICK_CLIENTS",
     "FULL_CLIENTS",
     "ATTACK_CROSS_FRACTIONS",
+    "COALITION_ATTACK",
     "attack_scenario",
     "churn_scenario",
+    "client_attack_scenario",
+    "coalition_scenario",
+    "default_attack_names",
     "longrun_scenario",
     "run_attack_sweep",
     "run_figure",
@@ -238,6 +242,120 @@ def attack_scenario(
     )
 
 
+#: pseudo-behaviour name selecting the colluding-adversary scenario in
+#: sweeps and on the CLI ``--attack`` surface.
+COALITION_ATTACK = "coalition"
+
+
+def client_attack_scenario(
+    behavior: str,
+    cross_shard_fraction: float = 0.0,
+    num_clusters: int = 2,
+    clients: int = 12,
+    duration: float = 0.5,
+    warmup: float = 0.06,
+    seed: int = 1,
+    at: float = 0.05,
+    client: int = 0,
+    accounts_per_shard: int = 128,
+) -> Scenario:
+    """One Byzantine SharPer deployment attacked by a Byzantine *client*.
+
+    Client ``client`` runs the named behaviour from time ``at``; arming
+    it also arms every replica's request guard, so forged, duplicated,
+    and ownership-violating traffic is screened — the run must still
+    pass the cross-replica safety audit.
+    """
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=FaultModel.BYZANTINE,
+            num_clusters=num_clusters,
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_shard_fraction,
+            accounts_per_shard=accounts_per_shard,
+        ),
+        name=f"{behavior} @ {cross_shard_fraction:.0%} cross-shard",
+        clients=clients,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        faults=FaultSchedule().make_client_byzantine(at=at, client=client, behavior=behavior),
+    )
+
+
+def coalition_members(num_clusters: int, byzantine: bool = True) -> dict[int, str]:
+    """Default colluding pair: initiator-primary delayer + remote withholder.
+
+    Node ids follow :meth:`SystemConfig.build`'s contiguous layout:
+    node 0 is cluster 0's primary, and the second node of cluster 1 is a
+    backup — one Byzantine replica per cluster, the paper's ``f = 1``
+    bound in each.
+    """
+    if num_clusters < 2:
+        raise ValueError("a coalition needs at least two clusters")
+    cluster_size = 4 if byzantine else 3
+    return {0: "delay-attacker", cluster_size + 1: "vote-withholder"}
+
+
+def coalition_scenario(
+    cross_shard_fraction: float = 0.2,
+    num_clusters: int = 2,
+    clients: int = 12,
+    duration: float = 0.5,
+    warmup: float = 0.06,
+    seed: int = 1,
+    at: float = 0.05,
+    members: "dict[int, str] | None" = None,
+    accounts_per_shard: int = 128,
+) -> Scenario:
+    """Colluding adversaries: one shared script across two clusters.
+
+    The default coalition (see :func:`coalition_members`) squeezes every
+    cross-shard transaction from both ends — delayed at the initiator,
+    vote-starved at a remote cluster — while each member stays within
+    its cluster's ``f = 1`` bound.  A brutal performance attack, but the
+    safety audit must keep passing.
+    """
+    chosen = members if members is not None else coalition_members(num_clusters)
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=FaultModel.BYZANTINE,
+            num_clusters=num_clusters,
+        ),
+        workload=WorkloadConfig(
+            cross_shard_fraction=cross_shard_fraction,
+            accounts_per_shard=accounts_per_shard,
+        ),
+        name=f"{COALITION_ATTACK} @ {cross_shard_fraction:.0%} cross-shard",
+        clients=clients,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        faults=FaultSchedule().form_coalition(at=at, members=chosen),
+    )
+
+
+def default_attack_names() -> list[str]:
+    """Every attack the sweep runs by default: replica, client, coalition."""
+    return (
+        sorted(available_behaviors())
+        + sorted(available_behaviors("client"))
+        + [COALITION_ATTACK]
+    )
+
+
+def _attack_scenario_for(name: str, **kwargs) -> Scenario:
+    """Route an attack name to the scenario shape its target needs."""
+    if name == COALITION_ATTACK:
+        return coalition_scenario(**kwargs)
+    if get_behavior(name).target == "client":
+        return client_attack_scenario(name, **kwargs)
+    return attack_scenario(name, **kwargs)
+
+
 def run_attack_sweep(
     behaviors: Sequence[str] | None = None,
     cross_fractions: Sequence[float] = ATTACK_CROSS_FRACTIONS,
@@ -252,14 +370,18 @@ def run_attack_sweep(
     """Sweep attack type × cross-shard fraction × seed under SharPer.
 
     Every point runs with at most ``f`` Byzantine replicas per cluster
-    and must pass the safety audit; use :func:`repro.api.run_scenarios`
-    semantics (``jobs`` parallelises, results come back in input order:
-    behaviour-major, then fraction, then seed).  ``behaviors`` defaults
-    to every registered adversary behaviour.
+    (and at most one Byzantine client) and must pass the safety audit;
+    use :func:`repro.api.run_scenarios` semantics (``jobs``
+    parallelises, results come back in input order: behaviour-major,
+    then fraction, then seed).  ``behaviors`` defaults to every
+    registered adversary behaviour — replica *and* client targets —
+    plus the :data:`COALITION_ATTACK` pseudo-behaviour; each name is
+    routed to the scenario shape its target needs (primary attack,
+    client attack, or coalition).
     """
-    names = list(behaviors) if behaviors is not None else sorted(available_behaviors())
+    names = list(behaviors) if behaviors is not None else default_attack_names()
     scenarios = [
-        attack_scenario(
+        _attack_scenario_for(
             behavior,
             cross_shard_fraction=fraction,
             num_clusters=num_clusters,

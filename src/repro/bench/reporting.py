@@ -1,4 +1,11 @@
-"""Plain-text and CSV reporting for benchmark results."""
+"""Plain-text and CSV reporting for benchmark results.
+
+Renders :class:`~repro.bench.experiments.FigureResult` curves the way
+the paper tabulates them — one row per measured point with throughput
+and latency percentiles — either as an aligned text table for the CLI
+or as CSV for downstream plotting.  Pure formatting: nothing here runs
+a simulation or mutates results.
+"""
 
 from __future__ import annotations
 

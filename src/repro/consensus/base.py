@@ -184,6 +184,14 @@ class ConsensusEngine(HandlerTable):
     def _on_new_view_message(self, message: Any, src: int) -> None:
         self.view_change.handle_new_view(message, src)
 
+    def on_view_installed(self, view: int) -> None:
+        """Hook invoked whenever a view is installed (certificate-verified).
+
+        Engines that park traffic for not-yet-installed views (PBFT
+        stashes pre-prepares rather than trusting ``message.view``)
+        release it here.  The base implementation does nothing.
+        """
+
     # ------------------------------------------------------------------
     # interface implemented by concrete engines
     # ------------------------------------------------------------------

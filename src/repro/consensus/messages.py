@@ -34,6 +34,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+from ..common.crypto import Signature
 from ..common.types import ClientId, ClusterId, NodeId
 from ..txn.transaction import Transaction
 
@@ -48,6 +49,7 @@ __all__ = [
     "PBFTCommit",
     "ViewChange",
     "NewView",
+    "NewViewAnnouncement",
     "CrossPropose",
     "CrossAccept",
     "CrossCommit",
@@ -210,6 +212,14 @@ class ViewChange:
     at or below the highest reported checkpoint (slots there are
     certified decided-and-applied cluster-wide) — which is also what
     keeps view-change messages bounded once log compaction runs.
+
+    ``signature`` binds the vote to its sender beyond the pairwise
+    channel authentication: view-change messages are *relayed* inside
+    :class:`NewView` / :class:`NewViewAnnouncement` certificates, where
+    the receiver never talked to the original sender, so the claimed
+    ``node`` must be verifiable from the message itself.  A Byzantine
+    node cannot produce a valid signature of a correct node (it can only
+    fabricate ``forged`` signatures, which never verify).
     """
 
     new_view: int
@@ -217,6 +227,7 @@ class ViewChange:
     decided: tuple[tuple[int, str], ...]
     accepted: tuple[tuple[int, str, object], ...] = ()
     checkpoint: int = 0
+    signature: Signature | None = None
 
     verify_signatures: ClassVar[int] = 1
     sign_signatures: ClassVar[int] = 1
@@ -224,11 +235,42 @@ class ViewChange:
 
 @dataclass(frozen=True, slots=True)
 class NewView:
-    """New primary → replicas: install ``view`` and re-propose ``entries``."""
+    """New primary → replicas: install ``view`` and re-propose ``entries``.
+
+    ``certificate`` carries the quorum of signed :class:`ViewChange`
+    votes (``2f + 1`` in the Byzantine model, ``f + 1`` under crash
+    faults) that elected this primary.  Backups verify the certificate —
+    distinct cluster members, matching ``new_view``, valid signatures —
+    before adopting the view, so a Byzantine replica cannot self-elect
+    by inflating view numbers (the ``forged-view`` adversary behaviour).
+    """
 
     view: int
     node: NodeId
     entries: tuple[tuple[int, object], ...]
+    certificate: tuple[ViewChange, ...] = ()
+
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class NewViewAnnouncement:
+    """New primary → nodes of every *other* cluster: authenticated fail-over.
+
+    Cross-shard consensus needs every node to know which node currently
+    speaks for each remote cluster (proposals from anyone else are
+    dropped).  Rather than trusting a bare claim — exactly the forged
+    view surface the certificate closes locally — the new primary
+    multicasts the same ``2f + 1`` (``f + 1`` crash) signed view-change
+    certificate cluster-wide; receivers verify it against the announced
+    cluster's membership before updating their remote-primary table.
+    """
+
+    cluster: ClusterId
+    view: int
+    node: NodeId
+    certificate: tuple[ViewChange, ...]
 
     verify_signatures: ClassVar[int] = 1
     sign_signatures: ClassVar[int] = 1

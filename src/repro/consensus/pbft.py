@@ -36,12 +36,20 @@ class PBFTEngine(ConsensusEngine):
         NewView: "_on_new_view_message",
     }
 
+    #: upper bound on pre-prepares parked for not-yet-installed views (a
+    #: Byzantine primary inflating views must not grow memory unboundedly).
+    MAX_STASHED_PRE_PREPARES = 64
+
     def __init__(self, host: ConsensusHost) -> None:
         super().__init__(host)
         quorum = 2 * host.cluster.f + 1
         self._prepares = QuorumTracker(quorum)
         self._commits = QuorumTracker(quorum)
         self._items: dict[tuple[int, int, str], object] = {}
+        #: pre-prepares for views this replica has not installed yet,
+        #: keyed by view; released by :meth:`on_view_installed`.
+        self._stashed_pre_prepares: dict[int, list[tuple[PrePrepare, int]]] = {}
+        self._stashed_count = 0
         self.view_change = ViewChangeManager(self, quorum=quorum)
 
     # ------------------------------------------------------------------
@@ -77,7 +85,14 @@ class PBFTEngine(ConsensusEngine):
         if message.view < self.view:
             return
         if message.view > self.view:
-            self.view = message.view
+            # A pre-prepare alone must never advance the view: that is
+            # exactly how a `forged-view` adversary self-elects (inflate
+            # `message.view` to a view whose round-robin primary it is).
+            # Higher views are only adopted through a certificate-carrying
+            # NewView (or a quorum-attested state transfer); park the
+            # message and replay it if that view is legitimately installed.
+            self._stash_pre_prepare(message, src)
+            return
         try:
             self.host.log.record_pending(
                 message.slot, message.digest, message.item, view=message.view,
@@ -130,6 +145,47 @@ class PBFTEngine(ConsensusEngine):
         self.host.log.decide(slot, digest, item, proposer=self.cluster_id, view=view)
         self.view_change.slot_decided(slot)
         self.host.after_decide()
+
+    def _stash_pre_prepare(self, message: PrePrepare, src: int) -> None:
+        """Park a future-view pre-prepare, preferring the nearest views.
+
+        Legitimate out-of-order traffic is for the view about to install
+        (a new primary's pre-prepare overtaking its NewView under link
+        jitter); a forged-view adversary inflates to *farther* views.
+        When the bounded stash is full, an entry of the farthest stashed
+        view is evicted in favour of a nearer one, so the attacker can
+        fill the budget with junk yet never crowd out the traffic the
+        next installed view will actually want.
+        """
+        if self._stashed_count >= self.MAX_STASHED_PRE_PREPARES:
+            farthest = max(self._stashed_pre_prepares)
+            if message.view >= farthest:
+                return
+            batch = self._stashed_pre_prepares[farthest]
+            batch.pop()
+            if not batch:
+                del self._stashed_pre_prepares[farthest]
+            self._stashed_count -= 1
+        self._stashed_pre_prepares.setdefault(message.view, []).append((message, src))
+        self._stashed_count += 1
+
+    # ------------------------------------------------------------------
+    # view installation (certificate-verified; see ViewChangeManager)
+    # ------------------------------------------------------------------
+    def on_view_installed(self, view: int) -> None:
+        """Release pre-prepares parked for ``view``; drop stale stashes.
+
+        Stashed messages re-enter :meth:`_on_pre_prepare` with the view
+        now current, so the usual primary/digest checks still apply.
+        """
+        for stashed_view in sorted(
+            v for v in self._stashed_pre_prepares if v <= view
+        ):
+            batch = self._stashed_pre_prepares.pop(stashed_view)
+            self._stashed_count -= len(batch)
+            if stashed_view == view:
+                for message, src in batch:
+                    self._on_pre_prepare(message, src)
 
     # ------------------------------------------------------------------
     # checkpoint compaction (repro.recovery)

@@ -8,18 +8,27 @@ the cluster members) installs the new view, re-proposes the uncommitted
 slots it learned about, fills unknown gaps with no-ops, and resumes
 handling client requests.
 
-The implementation is deliberately simplified compared to full PBFT view
-changes (no new-view certificates or checkpoint proofs); it preserves the
-behaviour the tests and experiments need: a crashed primary is detected,
-a new primary takes over, in-flight slots are resolved, and the cluster
-keeps committing transactions.
+View changes are *authenticated*, as in full PBFT: every ``ViewChange``
+vote is signed by its sender, and the ``NewView`` that installs the new
+primary carries a **certificate** of ``2f + 1`` (Byzantine; ``f + 1``
+crash) signed votes for that view.  Backups verify the certificate —
+distinct cluster members, matching view, valid signatures — before
+adopting the primary, so a Byzantine replica that inflates view numbers
+to self-elect (the ``forged-view`` behaviour) is rejected; see
+:func:`verify_new_view_certificate`.  Checkpoint proofs are still
+summarised rather than carried in full (``ViewChange.checkpoint`` plus
+the ``f + 1`` attestation rule in :meth:`_install_as_primary`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter, defaultdict, deque
-from typing import TYPE_CHECKING
+from dataclasses import replace as dataclass_replace
+from typing import TYPE_CHECKING, Iterable
 
+from ..common.config import ClusterConfig
+from ..common.crypto import Signature
 from ..sim.simulator import Timer
 from .base import QuorumTracker
 from .log import EntryStatus, Noop, item_digest
@@ -28,7 +37,70 @@ from .messages import NewView, ViewChange
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .base import ConsensusEngine
 
-__all__ = ["ViewChangeManager"]
+__all__ = [
+    "ViewChangeManager",
+    "sign_view_change",
+    "verify_new_view_certificate",
+    "verify_view_change_signature",
+    "view_change_digest",
+]
+
+
+def view_change_digest(message: ViewChange) -> str:
+    """Content digest a view-change signature binds.
+
+    Covers the vote's view, sender, checkpoint, and the (slot, digest)
+    pairs of the log summary — the item objects are already bound
+    through their digests, so they are not re-canonicalised.
+    """
+    hasher = hashlib.sha256(
+        f"VC|{message.new_view}|{int(message.node)}|{message.checkpoint}".encode()
+    )
+    for slot, digest in message.decided:
+        hasher.update(f"|d{slot}:{digest}".encode())
+    for slot, digest, _item in message.accepted:
+        hasher.update(f"|a{slot}:{digest}".encode())
+    return hasher.hexdigest()
+
+
+def sign_view_change(message: ViewChange) -> Signature:
+    """Produce the sender's signature over a view-change vote."""
+    return Signature(signer=int(message.node), payload_digest=view_change_digest(message))
+
+
+def verify_view_change_signature(message: ViewChange) -> bool:
+    """Check that a (possibly relayed) view-change vote is authentic."""
+    signature = message.signature
+    if signature is None or signature.forged:
+        return False
+    if signature.signer != int(message.node):
+        return False
+    return signature.payload_digest == view_change_digest(message)
+
+
+def verify_new_view_certificate(
+    certificate: Iterable[ViewChange], view: int, cluster: ClusterConfig
+) -> bool:
+    """Whether ``certificate`` proves the election of ``view``'s primary.
+
+    Valid iff at least ``intra_quorum`` *distinct* members of ``cluster``
+    contributed an authentic view-change vote for exactly ``view``.
+    Votes for other views, from non-members, or with missing/forged/
+    mismatching signatures are ignored — a fabricated certificate (the
+    ``forged-view`` adversary) can therefore never reach quorum, because
+    the forger cannot sign on behalf of correct nodes.
+    """
+    members = {int(node) for node in cluster.node_ids}
+    signers: set[int] = set()
+    for vote in certificate:
+        if vote.new_view != view:
+            continue
+        if int(vote.node) not in members:
+            continue
+        if not verify_view_change_signature(vote):
+            continue
+        signers.add(int(vote.node))
+    return len(signers) >= cluster.intra_quorum
 
 
 class ViewChangeManager:
@@ -57,6 +129,10 @@ class ViewChangeManager:
         self._timer: Timer | None = None
         self.in_view_change = False
         self.view_changes_completed = 0
+        #: view-change votes dropped for bad/missing signatures, and
+        #: NewView messages dropped for invalid certificates.
+        self.rejected_votes = 0
+        self.rejected_new_views = 0
 
     # ------------------------------------------------------------------
     # timers
@@ -135,20 +211,32 @@ class ViewChangeManager:
             else:
                 decided.append((entry.slot, entry.digest))
                 accepted.append((entry.slot, entry.digest, entry.item))
-        return ViewChange(
+        unsigned = ViewChange(
             new_view=new_view,
             node=self.engine.host.node_id,
             decided=tuple(decided),
             accepted=tuple(accepted),
             checkpoint=log.low_water_mark,
         )
+        return dataclass_replace(unsigned, signature=sign_view_change(unsigned))
 
     # ------------------------------------------------------------------
     # handling votes
     # ------------------------------------------------------------------
     def handle_view_change(self, message: ViewChange, src: int) -> None:
-        """Record a view-change vote; install the view once quorum is reached."""
+        """Record a view-change vote; install the view once quorum is reached.
+
+        Votes are validated before they count (and before they can enter
+        a certificate): the claimed ``node`` must match the channel-
+        authenticated sender, and the signature must verify.  Without
+        this, one Byzantine replica could smuggle a vote "from" a correct
+        node into the stored reports, and a certificate built from them
+        would fall below quorum at honest verifiers.
+        """
         if message.new_view <= self.engine.view:
+            return
+        if int(message.node) != src or not verify_view_change_signature(message):
+            self.rejected_votes += 1
             return
         self._reports[message.new_view][src] = message
         if not self._tracker.vote(("vc", message.new_view), src):
@@ -158,9 +246,22 @@ class ViewChangeManager:
             self._install_as_primary(message.new_view)
 
     def handle_new_view(self, message: NewView, src: int) -> None:
-        """Adopt a new view announced by its primary."""
+        """Adopt a new view announced by its primary — certificate checked.
+
+        The announcement must come from the primary its view elects
+        *and* carry a verifying quorum certificate of signed view-change
+        votes; a ``forged-view`` adversary fails both the fabricated
+        certificate check here and (for relayed claims) the
+        cross-cluster verification in
+        :meth:`repro.core.replica.SharPerReplica._on_new_view_announcement`.
+        """
         expected_primary = self.engine.host.cluster.primary_for_view(message.view)
         if src != expected_primary or message.view <= self.engine.view:
+            return
+        if not verify_new_view_certificate(
+            message.certificate, message.view, self.engine.host.cluster
+        ):
+            self.rejected_new_views += 1
             return
         self._enter_view(message.view)
 
@@ -180,13 +281,28 @@ class ViewChangeManager:
         # consulted again; dropping them keeps long churny runs bounded.
         for stale in [reported for reported in self._reports if reported <= view]:
             del self._reports[stale]
+        self.engine.on_view_installed(view)
 
     def _install_as_primary(self, view: int) -> None:
-        """Become the primary of ``view``: announce it and resolve open slots."""
+        """Become the primary of ``view``: announce it and resolve open slots.
+
+        The ``NewView`` carries the quorum certificate of signed
+        view-change votes this primary collected (they were validated on
+        receipt), and — when the host participates in cross-shard
+        consensus — the same certificate is announced to every other
+        cluster so remote nodes update their primary table through an
+        authenticated channel instead of trusting bare claims.
+        """
         reports = self._reports.get(view, {})
+        certificate = tuple(reports.values())
         self._enter_view(view)
         host = self.engine.host
-        host.multicast_cluster(NewView(view=view, node=host.node_id, entries=()))
+        host.multicast_cluster(
+            NewView(view=view, node=host.node_id, entries=(), certificate=certificate)
+        )
+        announce = getattr(host, "announce_new_view", None)
+        if announce is not None:
+            announce(view, certificate)
 
         # Determine what needs re-proposing: every slot up to the highest
         # slot any replica has heard of that this primary has not applied.

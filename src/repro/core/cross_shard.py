@@ -42,6 +42,7 @@ from ..consensus.messages import (
     CrossProposeB,
 )
 from ..sim.simulator import Timer
+from .guard import ADMIT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .replica import SharPerReplica
@@ -199,6 +200,13 @@ class CrashCrossShardEngine(HandlerTable):
         return chain.position_of_tx(tx_id)
 
     def _on_propose(self, message: CrossPropose, src: int) -> None:
+        guard = self.host.request_guard
+        if guard is not None and guard.screen(message.request) != ADMIT:
+            # Byzantine-client defence at every involved cluster: a
+            # forged/replayed/ownership-violating request must not
+            # gather accept votes anywhere — not even at clusters that
+            # never saw the original client submission.
+            return
         digest = message.digest
         decided_slot = self.host.log.decided_slot_of(digest)
         if decided_slot is None:
@@ -456,6 +464,13 @@ class ByzantineCrossShardEngine(HandlerTable):
         expected = self.host.primary_pid_of(message.initiator_cluster)
         if src != expected:
             # Only the initiator cluster's primary may propose.
+            return
+        guard = self.host.request_guard
+        if guard is not None and guard.screen(message.request) != ADMIT:
+            # Same Byzantine-client screen the crash engine applies: no
+            # correct node of any involved cluster accepts a forged,
+            # replayed, or ownership-violating request, so the quorum
+            # can never form.
             return
         state = self._state(message.digest)
         state.request = message.request

@@ -18,14 +18,15 @@ A replica glues together everything a node of the paper's system runs:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..common.config import ClusterConfig, SystemConfig
-from ..common.types import ClusterId, FaultModel, NodeId
+from ..common.types import AccountId, ClientId, ClusterId, FaultModel, NodeId
 from ..consensus.log import Noop, OrderingLog, item_digest
-from ..consensus.messages import ClientReply, ClientRequest
+from ..consensus.messages import ClientReply, ClientRequest, NewViewAnnouncement
 from ..consensus.paxos import PaxosEngine
 from ..consensus.pbft import PBFTEngine
+from ..consensus.view_change import verify_new_view_certificate
 from ..ledger.block import Block
 from ..ledger.view import ClusterView
 from ..recovery import CheckpointManager, CrossShardTerminator, StateTransferManager
@@ -38,6 +39,7 @@ from ..txn.execution import TransactionExecutor
 from ..txn.transaction import Transaction
 from . import sharding
 from .cross_shard import ByzantineCrossShardEngine, CrashCrossShardEngine
+from .guard import ADMIT, REFUSE, RequestGuard
 
 __all__ = ["SharPerReplica"]
 
@@ -96,10 +98,22 @@ class SharPerReplica(Process):
         self.terminator = CrossShardTerminator(self)
         #: suppress client replies while replaying state-transferred slots.
         self._replaying = False
+        #: Byzantine-client defence, armed lazily (None on the faultless
+        #: fast path — one ``is None`` check per client request).
+        self.request_guard: RequestGuard | None = None
+        # Remote-primary table: who currently speaks for each other
+        # cluster.  Pre-resolved to plain pids (replacing a linear config
+        # scan per lookup) and updated only through certificate-verified
+        # NewViewAnnouncements — a bare claim never changes it.
+        self._remote_primaries: dict[ClusterId, int] = {
+            remote.cluster_id: int(remote.primary) for remote in config.clusters
+        }
+        self._remote_views: dict[ClusterId, int] = {}
         # Table-driven dispatch: merge the engines' handler tables into the
         # process-level table once, so delivery is a single dict lookup
         # (the message sets of the engines and managers are disjoint).
         self.register_handler(ClientRequest, self._on_client_request)
+        self.register_handler(NewViewAnnouncement, self._on_new_view_announcement)
         self.register_handlers(self.cross.handlers())
         self.register_handlers(self.intra.handlers())
         self.register_handlers(self.checkpoints.handlers())
@@ -127,13 +141,15 @@ class SharPerReplica(Process):
     def primary_pid_of(self, cluster_id: ClusterId) -> int:
         """Process id of the primary of ``cluster_id``.
 
-        For the local cluster the current view is used; remote clusters are
-        assumed to be in their initial view (a remote view change is
-        discovered through forwarding).
+        For the local cluster the current view is used; remote primaries
+        come from the pre-resolved table, which starts at every cluster's
+        initial view and advances only through certificate-verified
+        :class:`~repro.consensus.messages.NewViewAnnouncement` messages
+        (see :meth:`_on_new_view_announcement`).
         """
         if cluster_id == self.cluster_id:
             return int(self.cluster.primary_for_view(self.intra.view))
-        return int(self.config.cluster(cluster_id).primary)
+        return self._remote_primaries[cluster_id]
 
     def nodes_of_clusters(self, clusters: Iterable[ClusterId]) -> list[int]:
         """Process ids of every node of the given clusters."""
@@ -174,11 +190,73 @@ class SharPerReplica(Process):
         self.send(int(node_id), message)
 
     # ------------------------------------------------------------------
+    # authenticated cross-cluster view changes
+    # ------------------------------------------------------------------
+    def announce_new_view(self, view: int, certificate: tuple) -> None:
+        """Tell every other cluster this replica now leads its cluster.
+
+        Called by the view-change manager at view installation with the
+        quorum certificate that elected this primary; view changes are
+        rare, so the cluster-wide multicast is off the hot path.
+        """
+        others = self.nodes_of_clusters(
+            remote.cluster_id
+            for remote in self.config.clusters
+            if remote.cluster_id != self.cluster_id
+        )
+        if not others:
+            return
+        self.multicast(
+            others,
+            NewViewAnnouncement(
+                cluster=self.cluster_id,
+                view=view,
+                node=self.node_id,
+                certificate=certificate,
+            ),
+        )
+
+    def _on_new_view_announcement(self, message: NewViewAnnouncement, src: int) -> None:
+        """Update the remote-primary table — certificate verified first.
+
+        The claim must come from the node its view elects, carry a
+        quorum of authentic signed view-change votes from *that*
+        cluster's members, and advance (never rewind) the remote view.
+        A forged-view adversary announcing a self-elected takeover fails
+        the certificate check and changes nothing.
+        """
+        cluster_id = message.cluster
+        if cluster_id == self.cluster_id:
+            return
+        try:
+            remote = self.config.cluster(cluster_id)
+        except Exception:
+            return
+        if src != int(remote.primary_for_view(message.view)):
+            return
+        if message.view <= self._remote_views.get(cluster_id, 0):
+            return
+        if not verify_new_view_certificate(message.certificate, message.view, remote):
+            return
+        self._remote_views[cluster_id] = message.view
+        self._remote_primaries[cluster_id] = int(remote.primary_for_view(message.view))
+
+    # ------------------------------------------------------------------
     # message dispatch (table-driven; see Process.on_message)
     # ------------------------------------------------------------------
     def _on_client_request(self, request: ClientRequest, src: int) -> None:
         if request.reply_to < 0:
             request = replace(request, reply_to=src)
+        guard = self.request_guard
+        if guard is not None:
+            verdict = guard.screen(request)
+            if verdict != ADMIT:
+                if verdict == REFUSE:
+                    # Authentic but invalid (e.g. ownership violation):
+                    # answer with a failure so honest submitters do not
+                    # retry forever; forged/replayed traffic is dropped.
+                    self._send_reply(request, success=False, cross_shard=False)
+                return
         transaction = request.transaction
         if self.chain.contains_tx(transaction.tx_id):
             # Duplicate of an already-committed transaction: reply directly.
@@ -342,6 +420,18 @@ class SharPerReplica(Process):
         item = entry.item
         if isinstance(item, ClientRequest):
             transaction = item.transaction
+            guard = self.request_guard
+            if guard is not None and guard.is_duplicate_apply(transaction.tx_id):
+                # At-most-once backstop: a duplicate of an already-
+                # committed transaction was ordered past the door (e.g.
+                # proposed directly by a Byzantine primary).  Executing
+                # it would double-spend and the ledger append would
+                # refuse it; fill the slot with a no-op instead — every
+                # correct replica applies slots in the same order, so
+                # the whole cluster fills identically and no fork arises.
+                self.charge(self.cost_model.append_cost)
+                self.chain.append(Block.noop(positions, proposer=proposer, parents=parents))
+                return
             # involved_shards is memoised on the shared payload, so this
             # guard costs one cache probe per applied transaction.
             if len(positions) == 1 and len(transaction.involved_shards(self.mapper)) > 1:
@@ -351,6 +441,8 @@ class SharPerReplica(Process):
                 # would silently mint or destroy money).  Fill the slot
                 # with a no-op and send no reply — the client's retry
                 # commits the transaction atomically elsewhere.
+                if guard is not None:
+                    guard.abandoned(transaction.tx_id)
                 self.charge(self.cost_model.append_cost)
                 self.chain.append(Block.noop(positions, proposer=proposer, parents=parents))
                 return
@@ -363,6 +455,8 @@ class SharPerReplica(Process):
             block = self._block_for(transaction, positions, proposer, parents)
             self.chain.append(block)
             self.committed_count += 1
+            if guard is not None:
+                guard.committed(item)
             cross = len(positions) > 1
             if cross:
                 self.committed_cross_count += 1
@@ -412,6 +506,21 @@ class SharPerReplica(Process):
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
+    def arm_request_guard(
+        self, owner_of: "Callable[[AccountId], ClientId] | None" = None
+    ) -> RequestGuard:
+        """Create (idempotently) the Byzantine-client request guard.
+
+        Armed by :meth:`repro.core.system.BaseSystem.arm_request_guards`
+        the moment any adversary enters the run — every replica of every
+        cluster arms in the same simulator event, so screening decisions
+        are identical cluster- and system-wide.  Faultless runs never
+        call this, keeping the fast path at one ``is None`` check.
+        """
+        if self.request_guard is None:
+            self.request_guard = RequestGuard(self.chain, owner_of=owner_of)
+        return self.request_guard
+
     def recover(self) -> None:
         """Restart after a crash and actively catch up on missed slots.
 

@@ -13,7 +13,13 @@ from __future__ import annotations
 import copy
 from typing import Callable, Iterable, Mapping
 
-from ..adversary import AdversaryBehavior, SafetyAuditor, SafetyReport, make_behavior
+from ..adversary import (
+    AdversaryBehavior,
+    Coalition,
+    SafetyAuditor,
+    SafetyReport,
+    make_behavior,
+)
 from ..api.registry import register_system
 from ..common.config import SystemConfig
 from ..common.errors import ConfigurationError
@@ -70,6 +76,12 @@ class BaseSystem:
         #: process ids currently running an adversary behaviour; the
         #: safety auditor excludes these from its cross-replica checks.
         self.byzantine_nodes: set[int] = set()
+        #: client process ids currently running a *client* behaviour
+        #: (clients hold no chain, so the auditor needs no exclusion —
+        #: the set exists for introspection and restore bookkeeping).
+        self.byzantine_clients: set[int] = set()
+        #: coalitions formed during the run (shared cross-cluster scripts).
+        self.coalitions: list[Coalition] = []
 
     # ------------------------------------------------------------------
     # account bootstrap
@@ -225,6 +237,7 @@ class BaseSystem:
         process.byzantine = True
         process.set_interceptor(instance)
         self.byzantine_nodes.add(int(node_id))
+        self.arm_request_guards()
         return instance
 
     def make_primary_byzantine(
@@ -233,12 +246,86 @@ class BaseSystem:
         """Attach an adversary behaviour to a cluster's initial primary."""
         return self.make_byzantine(int(self.config.cluster(cluster_id).primary), behavior)
 
+    def make_client_byzantine(
+        self, client_index: int, behavior: "str | AdversaryBehavior" = "duplicating-client"
+    ) -> AdversaryBehavior:
+        """Turn one spawned client Byzantine by attaching a client behaviour.
+
+        ``client_index`` indexes :attr:`clients` in spawn order;
+        ``behavior`` is a registry name (``duplicating-client``,
+        ``forged-signature-client``, ``ownership-violator-client``, …) or
+        a ready instance — the same contract as :meth:`make_byzantine`,
+        including the defensive deep copy.  Every replica's
+        :class:`~repro.core.guard.RequestGuard` is armed in the same
+        simulator event, so the forged/duplicated/stolen traffic the
+        client is about to emit is screened from its very first message.
+        """
+        try:
+            client = self.clients[client_index]
+        except IndexError:
+            raise ConfigurationError(
+                f"no spawned client with index {client_index} "
+                f"({len(self.clients)} clients exist)"
+            ) from None
+        instance = copy.deepcopy(
+            make_behavior(behavior, seed=self.seed + 733 * (client_index + 1))
+        )
+        client.byzantine = True
+        client.set_interceptor(instance)
+        self.byzantine_clients.add(int(client.pid))
+        self.arm_request_guards()
+        return instance
+
+    def form_coalition(
+        self, members: "Mapping[int, str | AdversaryBehavior]", seed: int = 0
+    ) -> Coalition:
+        """Bind Byzantine replicas in different clusters to one shared script.
+
+        ``members`` maps replica node ids to the behaviour each member
+        runs once a shared target is spotted (see
+        :class:`~repro.adversary.Coalition`).  The coalition object — and
+        therefore the target set the members coordinate through — is
+        constructed here, at fault-event time, so schedules stay
+        picklable and pool workers build their own private instance.
+        """
+        coalition = Coalition(seed=self.seed + 104729 * (seed + 1))
+        for node_id, behavior in sorted(members.items()):
+            process = self._process_by_pid(node_id)
+            member = coalition.member(behavior)
+            process.byzantine = True
+            process.set_interceptor(member)
+            self.byzantine_nodes.add(int(node_id))
+        self.coalitions.append(coalition)
+        self.arm_request_guards()
+        return coalition
+
     def restore_node(self, node_id: int) -> None:
-        """Restore a Byzantine replica to correct behaviour (detach it)."""
+        """Restore a Byzantine replica or client to correct behaviour."""
+        if int(node_id) in self.byzantine_clients:
+            for client in self.clients:
+                if int(client.pid) == int(node_id):
+                    client.set_interceptor(None)
+                    client.byzantine = False
+            self.byzantine_clients.discard(int(node_id))
+            return
         process = self._process_by_pid(node_id)
         process.set_interceptor(None)
         process.byzantine = False
         self.byzantine_nodes.discard(int(node_id))
+
+    def arm_request_guards(self) -> None:
+        """Arm the Byzantine-client request guard on every replica.
+
+        Called whenever any adversary (replica, client, or coalition)
+        enters the run; idempotent, and a single simulator event arms the
+        whole deployment, so screening decisions are identical
+        system-wide.  Faultless runs never arm, keeping the hot path at
+        one ``is None`` check per client request.
+        """
+        for process in self.processes():
+            arm = getattr(process, "arm_request_guard", None)
+            if arm is not None:
+                arm(owner_of=self.owner_of)
 
     # ------------------------------------------------------------------
     # correctness checks

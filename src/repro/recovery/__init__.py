@@ -5,7 +5,10 @@ package supplies it for the reproduction, in three pillars:
 
 * **Checkpointing + log compaction** (:class:`CheckpointManager`) —
   every ``checkpoint_interval`` applied slots a replica multicasts a
-  signed ``Checkpoint(seq, state_digest)`` to its cluster; once an
+  signed ``Checkpoint(seq, state_digest)`` to its cluster.  Invariant:
+  the digest is taken inside the apply loop, so it covers the state
+  produced by exactly slots 1..seq at every correct replica — which is
+  what makes digests comparable cluster-wide.  Once an
   intra-shard quorum of matching digests arrives the checkpoint is
   *stable*: the :class:`~repro.consensus.log.OrderingLog` truncates
   entries and dedup indexes at or below the low-water mark, the

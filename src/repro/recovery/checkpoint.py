@@ -2,7 +2,11 @@
 
 Every ``checkpoint_interval`` applied slots a replica digests its state
 (chain head + account store), snapshots it, and multicasts a signed
-:class:`~repro.recovery.messages.Checkpoint` to its cluster.  Once an
+:class:`~repro.recovery.messages.Checkpoint` to its cluster.  The
+invariant that makes digests comparable: the checkpoint at ``seq`` is
+taken *inside* the apply loop, immediately after applying slot ``seq``,
+so the digest covers the state produced by exactly slots 1..seq — no
+more, no less — at every correct replica.  Once an
 intra-shard quorum of matching ``(seq, digest)`` votes accumulates the
 checkpoint becomes *stable* and authorises garbage collection: the
 ordering log truncates entries and dedup indexes at or below ``seq``,

@@ -18,7 +18,9 @@ it.  The joiner:
    ``log.decide → after_decide`` path (client replies are suppressed
    during replay), reconstructing the exact blocks every other replica
    holds;
-4. adopts the helpers' view and rejoins consensus.
+4. adopts the helpers' view — the highest view a quorum of distinct
+   helpers attests, so one lying helper cannot move the joiner onto a
+   never-elected primary — and rejoins consensus.
 
 Without checkpointing (``checkpoint_interval == 0``) the suffix simply
 starts at the requester's applied height — full-log replay — so
@@ -66,6 +68,14 @@ class StateTransferManager(HandlerTable):
         #: let the first (possibly faulty) responder supply positions
         #: the honest matchers never vouched for.
         self._entry_votes: dict[tuple, set[int]] = {}
+        #: helper pid → highest view it claimed this round.  The joiner
+        #: adopts the highest view a quorum of distinct helpers attests
+        #: *at least* (a claim of view ``v`` vouches for every view
+        #: below it) — one Byzantine helper inflating its claim can
+        #: neither move the joiner onto a never-elected view (the
+        #: state-transfer variant of the forged-view attack) nor split
+        #: the vote so the honest majority's view goes unadopted.
+        self._view_claims: dict[int, int] = {}
         self.requested = 0
         self.served = 0
         self.completed = 0
@@ -91,6 +101,7 @@ class StateTransferManager(HandlerTable):
         self._round_active = True
         self._snapshot_votes.clear()
         self._entry_votes.clear()
+        self._view_claims.clear()
         self.requested += 1
         host.multicast_cluster(
             StateRequest(node=host.node_id, have_seq=host.log.next_apply - 1)
@@ -158,11 +169,31 @@ class StateTransferManager(HandlerTable):
                 self.rejected += 1
                 return
         progressed = self._replay_entries(message, src) or progressed
-        if message.view > host.intra.view:
-            host.intra.view = message.view
+        self._adopt_attested_view(message.view, src)
         if progressed:
             self.completed += 1
             self._round_active = False
+
+    def _adopt_attested_view(self, view: int, src: int) -> None:
+        """Adopt the highest view a quorum of helpers attests at least.
+
+        A helper claiming view ``v`` vouches for every view at or below
+        ``v``, so the attested view is the quorum-th largest claim —
+        helpers reporting *different* views (or one Byzantine helper
+        inflating its claim) still let the honest floor through.
+        """
+        claims = self._view_claims
+        previous = claims.get(src)
+        if previous is None or view > previous:
+            claims[src] = view
+        if len(claims) < self.quorum:
+            return
+        ranked = sorted(claims.values(), reverse=True)
+        attested = ranked[self.quorum - 1]
+        host = self.host
+        if attested > host.intra.view:
+            host.intra.view = attested
+            host.intra.on_view_installed(attested)
 
     def _verify_snapshot(self, message: StateResponse) -> bool:
         anchor_hash = getattr(message.anchor, "block_hash", None)

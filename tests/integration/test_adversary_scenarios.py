@@ -203,6 +203,40 @@ class TestDeterminism:
         )
 
 
+class TestAttackSweepRouting:
+    def test_sweep_routes_replica_client_and_coalition_attacks(self):
+        """One sweep covers all three adversary classes, all safe."""
+        from repro.bench.experiments import run_attack_sweep
+
+        results = run_attack_sweep(
+            behaviors=["forged-view", "duplicating-client", "coalition"],
+            cross_fractions=(0.2,),
+            seeds=(1,),
+            duration=0.3,
+        )
+        assert len(results) == 3
+        forged, duplicating, coalition = results
+        for result in results:
+            assert result.safety is not None
+            assert result.ok, (
+                (result.audit.problems if result.audit else [])
+                + result.safety.problems
+            )
+        # Each name landed on the scenario shape its target needs.
+        assert forged.system.byzantine_nodes == {0}
+        assert duplicating.system.byzantine_clients and not duplicating.system.byzantine_nodes
+        assert coalition.system.byzantine_nodes == {0, 5}
+        assert coalition.system.coalitions
+
+    def test_default_names_cover_every_registered_target(self):
+        from repro.bench.experiments import COALITION_ATTACK, default_attack_names
+
+        names = default_attack_names()
+        assert set(available_behaviors()) <= set(names)
+        assert set(available_behaviors("client")) <= set(names)
+        assert COALITION_ATTACK in names
+
+
 class TestFaultlessPathUnchanged:
     def test_no_adversary_means_no_safety_audit_and_no_interceptors(self):
         """Faultless sweeps must not pay for the adversary subsystem."""

@@ -1,0 +1,53 @@
+"""The docs link checker runs clean — and actually catches breakage.
+
+Keeps ``tools/check_docs.py`` honest inside the tier-1 suite: the
+shipped README/docs must contain no broken relative links, and the
+checker itself must flag one when it exists (otherwise a silent
+regression in the tool would green-light broken docs forever).
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_shipped_docs_have_no_broken_links():
+    problems = check_docs.broken_links(REPO_ROOT)
+    assert problems == [], [
+        f"{path.relative_to(REPO_ROOT)}:{line} -> {target}"
+        for path, line, target in problems
+    ]
+
+
+def test_readme_and_docs_are_both_scanned():
+    files = {path.name for path in check_docs.doc_files(REPO_ROOT)}
+    assert "README.md" in files
+    assert {"architecture.md", "adversary.md", "recovery.md"} <= files
+
+
+def test_checker_flags_a_broken_link(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "see [the docs](docs/missing.md) and [ok](real.md)\n"
+    )
+    (tmp_path / "real.md").write_text("hi\n")
+    problems = check_docs.broken_links(tmp_path)
+    assert len(problems) == 1
+    assert problems[0][2] == "docs/missing.md"
+
+
+def test_checker_skips_external_and_anchor_links(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "[a](https://example.com) [b](#section) [c](mailto:x@y.z)\n"
+    )
+    assert check_docs.broken_links(tmp_path) == []
+
+
+def test_cli_exit_codes(tmp_path):
+    (tmp_path / "README.md").write_text("[broken](nope.md)\n")
+    assert check_docs.main([str(tmp_path)]) == 1
+    (tmp_path / "nope.md").write_text("now it exists\n")
+    assert check_docs.main([str(tmp_path)]) == 0

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Documentation checker: broken relative links in README.md and docs/.
+
+Scans every markdown link and image reference of the form
+``[text](target)`` in ``README.md`` and ``docs/*.md``.  External
+targets (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped; everything else must resolve to an existing
+file or directory relative to the file containing the link (fragments
+are stripped before resolution).  Exits non-zero listing every broken
+link — the CI ``docs`` job runs this next to the docstring audit
+(``tests/unit/test_docstrings.py``), and the tier-1 suite runs both via
+``tests/unit/test_docs_links.py``.
+
+Usage::
+
+    python tools/check_docs.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: matches [text](target) and ![alt](target); target group excludes ')'.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: schemes (and pseudo-targets) that are not filesystem links.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """README.md plus every markdown file under docs/ (sorted, stable)."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> list[tuple[Path, int, str]]:
+    """All unresolvable relative links as (file, line number, target)."""
+    problems: list[tuple[Path, int, str]] = []
+    for path in doc_files(root):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    problems.append((path, lineno, target))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parents[1]
+    files = doc_files(root)
+    if not files:
+        print(f"check_docs: no documentation files found under {root}", file=sys.stderr)
+        return 1
+    problems = broken_links(root)
+    if problems:
+        for path, lineno, target in problems:
+            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+        print(f"check_docs: {len(problems)} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"check_docs: {len(files)} file(s) checked, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
