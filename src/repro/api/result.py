@@ -19,6 +19,7 @@ from ..common.metrics import RunStats
 from ..common.types import ClusterId
 from ..ledger.validation import AuditReport
 from ..recovery.stats import RecoveryStats
+from ..storage.stats import StorageStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.system import BaseSystem
@@ -58,6 +59,9 @@ class ScenarioResult:
     #: aggregated checkpoint/state-transfer/termination counters (None
     #: for systems without the recovery subsystem, e.g. some baselines).
     recovery: RecoveryStats | None = None
+    #: storage footprint gauges (store backend, resident accounts and
+    #: blocks, archive growth).
+    storage: StorageStats | None = None
 
     # ------------------------------------------------------------------
     # detachment (multiprocessing support)
@@ -128,6 +132,8 @@ class ScenarioResult:
         }
         if self.recovery is not None:
             row.update(self.recovery.as_dict())
+        if self.storage is not None:
+            row.update(self.storage.as_dict())
         for cluster_id in sorted(self.chain_heights):
             row[f"height_p{int(cluster_id)}"] = self.chain_heights[cluster_id]
         return row
@@ -161,4 +167,6 @@ class ScenarioResult:
             or self.recovery.terminations_started
         ):
             lines.append(f"recovery   : {self.recovery.summary()}")
+        if self.storage is not None:
+            lines.append(f"storage    : {self.storage.summary()}")
         return "\n".join(lines)

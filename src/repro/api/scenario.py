@@ -31,11 +31,12 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from ..common.config import PerformanceModel, ProtocolTuning, SystemConfig
+from ..common.config import PerformanceModel, ProtocolTuning, StorageSpec, SystemConfig
 from ..common.errors import ConfigurationError
 from ..common.metrics import MetricsCollector
 from ..common.types import FaultModel
 from ..recovery.stats import collect_recovery_stats
+from ..storage.stats import collect_storage_stats
 from ..txn.workload import WorkloadConfig
 from .faults import FaultSchedule
 from .registry import get_system
@@ -69,13 +70,23 @@ class DeploymentSpec:
     #: when set, replaces ``tuning.checkpoint_interval`` (decided slots
     #: between checkpoints; 0 disables checkpointing and log GC).
     checkpoint_interval: int | None = None
+    #: replica state-store backend: "dict" (default) or "columnar"
+    #: (flat-column store for million-account shards).
+    store_backend: str = "dict"
+    #: sqlite database path checkpoint GC spills pruned blocks into
+    #: (":memory:" accepted); None drops pruned history as before.
+    archive: str | None = None
     #: explicit topology override; when set, the fields above describing
-    #: the homogeneous layout are ignored.
+    #: the homogeneous layout are ignored (except ``store_backend`` /
+    #: ``archive``, which still apply when non-default).
     config: SystemConfig | None = None
 
     def resolve(self, seed: int = 0) -> SystemConfig:
         """The concrete :class:`SystemConfig` this spec describes."""
+        storage = StorageSpec(store_backend=self.store_backend, archive_path=self.archive)
         if self.config is not None:
+            if storage != StorageSpec():
+                return dataclasses.replace(self.config, storage=storage)
             return self.config
         tuning = self.tuning
         if self.checkpoint_interval is not None:
@@ -89,6 +100,7 @@ class DeploymentSpec:
             nodes_per_cluster=self.nodes_per_cluster,
             performance=self.performance,
             tuning=tuning,
+            storage=storage,
             seed=seed,
         )
 
@@ -213,6 +225,7 @@ class Scenario:
         if late_commits:
             stats = dataclasses.replace(stats, late_commits=late_commits)
         recovery = collect_recovery_stats(system)
+        storage = collect_storage_stats(system)
         heights = {
             cluster_id: view.height for cluster_id, view in system.views().items()
         }
@@ -228,6 +241,7 @@ class Scenario:
             expected_balance=expected,
             safety=safety,
             recovery=recovery,
+            storage=storage,
         )
 
 

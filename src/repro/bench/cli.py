@@ -143,6 +143,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario: recover the crashed replica at simulated time T "
         "(it state-transfers the missed slots and rejoins consensus)",
     )
+
+    storage = parser.add_argument_group("storage (repro.storage)")
+    storage.add_argument(
+        "--store-backend", choices=("dict", "columnar"), default="dict",
+        help="scenario: replica state-store backend (columnar scales to "
+        "million-account shards)",
+    )
+    storage.add_argument(
+        "--archive", metavar="PATH", default=None,
+        help="scenario: sqlite database that checkpoint GC spills pruned "
+        "blocks into (requires --checkpoint-interval)",
+    )
+    storage.add_argument(
+        "--audit-archive", action="store_true",
+        help="scenario: after the run, re-verify the archive offline "
+        "(hash-chain continuity + balance conservation replay)",
+    )
     return parser
 
 
@@ -180,6 +197,9 @@ def _run_scenario(args: argparse.Namespace) -> int:
     if faults and not args.quiet:
         for event in faults:
             print(f"  scheduled: {event.describe()}", file=sys.stderr)
+    if args.audit_archive and not args.archive:
+        print("sharper-bench: error: --audit-archive requires --archive", file=sys.stderr)
+        return 2
     try:
         scenario = Scenario(
             deployment=DeploymentSpec(
@@ -187,6 +207,8 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 fault_model=fault_model,
                 num_clusters=args.clusters,
                 checkpoint_interval=args.checkpoint_interval or None,
+                store_backend=args.store_backend,
+                archive=args.archive,
             ),
             workload=WorkloadConfig(cross_shard_fraction=args.cross_shard),
             clients=args.clients,
@@ -200,7 +222,16 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(f"sharper-bench: error: {error}", file=sys.stderr)
         return 2
     print(result.summary())
-    return 0 if result.ok else 1
+    ok = result.ok
+    if args.audit_archive:
+        from ..storage import audit_archive
+
+        report = audit_archive(result.system.archive)
+        print(report.summary())
+        for problem in report.problems:
+            print(f"  problem: {problem}", file=sys.stderr)
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:

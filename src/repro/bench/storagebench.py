@@ -1,0 +1,267 @@
+"""Storage benchmark: digest-cost curve and the bounded-memory longrun.
+
+Run as a module and it writes ``BENCH_storage.json``::
+
+    PYTHONPATH=src python -m repro.bench.storagebench            # full config
+    PYTHONPATH=src python -m repro.bench.storagebench --quick    # CI smoke
+
+Two workloads are measured:
+
+* **digest curve** — per store backend, the cost of ``state_digest()``
+  after a fixed number of account writes, across account populations.
+  The incremental digest (dict and columnar backends) re-hashes only the
+  touched accounts, so its cost should stay flat as the population
+  grows; the naive sorted full-table digest is measured alongside as the
+  scaling foil.  Rounds are interleaved across series (min-of-N per
+  cell) to cancel host-speed drift on a single-core box.
+* **longrun** — a checkpointed SharPer run on the columnar backend with
+  a sqlite archive attached: a million-account keyspace, multi-million
+  committed transfers, bounded resident block count (checkpoint GC
+  spills to the archive), followed by the offline archive audit.
+
+``--quick`` shrinks both parts for CI; quick numbers are not comparable
+with full runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+
+from ..api import DeploymentSpec, Scenario
+from ..common.types import FaultModel
+from ..storage import audit_archive, make_store
+from ..txn.accounts import ShardMapper
+from ..txn.workload import WorkloadConfig
+
+__all__ = ["digest_curve", "longrun", "main"]
+
+
+def _touch(store, account_ids) -> None:
+    """Apply one deposit per id (the write pattern between checkpoints)."""
+    for account_id in account_ids:
+        store.deposit(account_id, 1)
+
+
+def digest_curve(
+    account_counts=(10_000, 100_000, 1_000_000),
+    writes_per_round: int = 1_000,
+    rounds: int = 3,
+) -> dict:
+    """Digest cost per backend after ``writes_per_round`` writes.
+
+    Returns min-of-``rounds`` wall milliseconds per (series, account
+    count) cell.  Series:
+
+    * ``dict_incremental`` / ``columnar_incremental`` — the production
+      path: pre-images folded out of / current values folded into the
+      additive digest accumulator;
+    * ``columnar_naive_sorted`` — full sorted-table recomputation, the
+      pre-incremental behaviour, measured as the scaling reference.
+    """
+    stores: dict[tuple[str, int], object] = {}
+    for count in account_counts:
+        mapper = ShardMapper(num_shards=1, accounts_per_shard=count)
+        for backend in ("dict", "columnar"):
+            store = make_store(backend, shard=0, mapper=mapper, initial_balance=1000)
+            store.state_digest()  # prime the accumulator; start incremental
+            stores[(backend, count)] = store
+    results: dict[str, dict[str, float]] = {
+        "dict_incremental": {},
+        "columnar_incremental": {},
+        "columnar_naive_sorted": {},
+    }
+    for _ in range(max(rounds, 1)):
+        for count in account_counts:
+            touched = range(0, count, max(1, count // writes_per_round))
+            for backend in ("dict", "columnar"):
+                store = stores[(backend, count)]
+                _touch(store, touched)
+                start = time.perf_counter()
+                store.state_digest()
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                cell = results[f"{backend}_incremental"]
+                key = str(count)
+                if key not in cell or elapsed_ms < cell[key]:
+                    cell[key] = elapsed_ms
+            store = stores[("columnar", count)]
+            start = time.perf_counter()
+            naive = store.naive_state_digest()
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            assert naive == store.state_digest(), "incremental digest diverged"
+            cell = results["columnar_naive_sorted"]
+            key = str(count)
+            if key not in cell or elapsed_ms < cell[key]:
+                cell[key] = elapsed_ms
+    return {
+        "account_counts": list(account_counts),
+        "writes_per_round": writes_per_round,
+        "rounds": max(rounds, 1),
+        "series_ms": {
+            name: {key: round(value, 3) for key, value in cells.items()}
+            for name, cells in results.items()
+        },
+    }
+
+
+def longrun(
+    num_clusters: int = 4,
+    accounts_per_shard: int = 250_000,
+    clients: int = 64,
+    duration: float = 110.0,
+    checkpoint_interval: int = 64,
+    archive_path: str | None = None,
+    seed: int = 11,
+) -> dict:
+    """Checkpointed columnar + archive run, then the offline audit.
+
+    The defaults cover a one-million-account keyspace; ``duration`` is
+    simulated seconds, sized so the committed transfer count reaches
+    into the millions.  ``archive_path`` defaults to a temporary file
+    (deleted afterwards).
+    """
+    cleanup = archive_path is None
+    if archive_path is None:
+        handle = tempfile.NamedTemporaryFile(
+            prefix="sharper-archive-", suffix=".db", delete=False
+        )
+        handle.close()
+        archive_path = handle.name
+        os.unlink(archive_path)  # SqliteArchive creates it fresh
+    try:
+        scenario = Scenario(
+            deployment=DeploymentSpec(
+                system="sharper",
+                fault_model=FaultModel.CRASH,
+                num_clusters=num_clusters,
+                checkpoint_interval=checkpoint_interval,
+                store_backend="columnar",
+                archive=archive_path,
+            ),
+            workload=WorkloadConfig(
+                cross_shard_fraction=0.1, accounts_per_shard=accounts_per_shard
+            ),
+            clients=clients,
+            duration=duration,
+            warmup=min(0.06, duration / 5),
+            seed=seed,
+        )
+        wall_start = time.perf_counter()
+        result = scenario.run()
+        run_wall = time.perf_counter() - wall_start
+        result.raise_if_failed()
+        storage = result.storage
+        audit_start = time.perf_counter()
+        report = audit_archive(result.system.archive)
+        audit_wall = time.perf_counter() - audit_start
+        return {
+            "num_clusters": num_clusters,
+            "accounts": num_clusters * accounts_per_shard,
+            "clients": clients,
+            "duration_sim_s": duration,
+            "checkpoint_interval": checkpoint_interval,
+            "committed": result.stats.committed,
+            "committed_cross": result.stats.committed_cross,
+            "throughput_tps": round(result.throughput, 1),
+            "store_backend": storage.backend,
+            "resident_accounts": storage.resident_accounts,
+            "peak_ledger_blocks": storage.peak_ledger_blocks,
+            "resident_blocks": storage.resident_blocks,
+            "archive_blocks": storage.archive_blocks,
+            "archive_tx_rows": storage.archive_tx_rows,
+            "archive_checkpoints": storage.archive_checkpoints,
+            "archive_bytes": storage.archive_bytes,
+            "audit_ok": report.ok,
+            "audit_problems": report.problems,
+            "audit_checkpoints_verified": report.checkpoints_verified,
+            "audit_txs_replayed": report.txs_replayed,
+            "run_wall_s": round(run_wall, 2),
+            "audit_wall_s": round(audit_wall, 2),
+        }
+    finally:
+        if cleanup:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(archive_path + suffix)
+                except OSError:
+                    pass
+
+
+def run(quick: bool = False, archive_path: str | None = None) -> dict:
+    """Execute both parts and assemble the report dictionary."""
+    if quick:
+        curve = digest_curve(
+            account_counts=(1_000, 10_000, 100_000), writes_per_round=500, rounds=2
+        )
+        long_report = longrun(
+            num_clusters=3,
+            accounts_per_shard=4_096,
+            clients=24,
+            duration=1.0,
+            checkpoint_interval=16,
+            archive_path=archive_path,
+        )
+    else:
+        curve = digest_curve()
+        long_report = longrun(archive_path=archive_path)
+    return {
+        "schema": "sharper-storagebench/1",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "quick": quick,
+        "digest_curve": curve,
+        "longrun": long_report,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.storagebench",
+        description="Measure digest scaling and the archived bounded-memory longrun.",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_storage.json", help="where to write the JSON report"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small configuration for CI smoke runs (not comparable to full runs)",
+    )
+    parser.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="keep the longrun's sqlite archive at PATH instead of a "
+        "deleted temporary file",
+    )
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, archive_path=args.archive)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    curve = report["digest_curve"]
+    for name, cells in curve["series_ms"].items():
+        rendered = ", ".join(f"{key}: {value}ms" for key, value in cells.items())
+        print(f"digest {name:24s} {rendered}")
+    long_report = report["longrun"]
+    print(
+        f"longrun    : {long_report['committed']:,} txs over "
+        f"{long_report['accounts']:,} accounts, "
+        f"ledger peak {long_report['peak_ledger_blocks']} blocks, "
+        f"archive {long_report['archive_blocks']:,} blocks / "
+        f"{long_report['archive_bytes']:,} bytes"
+    )
+    print(
+        f"audit      : {'OK' if long_report['audit_ok'] else long_report['audit_problems']} "
+        f"({long_report['audit_checkpoints_verified']} checkpoints, "
+        f"{long_report['audit_txs_replayed']:,} txs replayed)"
+    )
+    print(f"report     : {args.output}")
+    return 0 if long_report["audit_ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke job
+    raise SystemExit(main())

@@ -31,6 +31,8 @@ from ..sim.costs import CostModel
 from ..sim.network import ClusteredLatencyModel, Network
 from ..sim.process import Process
 from ..sim.simulator import Simulator
+from ..storage import SqliteArchive, make_store
+from ..storage.base import StateStore
 from ..txn.accounts import AccountStore, ShardMapper
 from ..txn.transaction import Transaction
 from ..txn.workload import WorkloadConfig, WorkloadGenerator
@@ -71,7 +73,25 @@ class BaseSystem:
         self.workload_mapper = ShardMapper(
             num_shards=config.num_clusters,
             accounts_per_shard=workload_config.accounts_per_shard,
+            strategy=workload_config.partition_strategy,
         )
+        #: state-store backend every replica uses ("dict" or "columnar").
+        self.store_backend = config.storage.store_backend
+        #: bootstrapped store per shard; replicas receive cheap clones.
+        self._store_cache: dict[int, StateStore] = {}
+        #: archival backend checkpoint GC spills pruned blocks into.
+        self.archive: SqliteArchive | None = None
+        if config.storage.archive_path is not None:
+            self.archive = SqliteArchive(config.storage.archive_path)
+            self.archive.record_bootstrap(
+                {
+                    "num_shards": config.num_clusters,
+                    "accounts_per_shard": workload_config.accounts_per_shard,
+                    "partition_strategy": workload_config.partition_strategy,
+                    "initial_balance": workload_config.initial_balance,
+                    "num_clients": workload_config.num_clients,
+                }
+            )
         self.clients: list[ClosedLoopClient | OpenLoopClient] = []
         #: process ids currently running an adversary behaviour; the
         #: safety auditor excludes these from its cross-replica checks.
@@ -90,17 +110,26 @@ class BaseSystem:
         """Application client owning ``account_id`` (matches the workload)."""
         return ClientId(account_id % self.workload_config.num_clients)
 
-    def _bootstrap_store(self, mapper: ShardMapper, shard: int) -> AccountStore:
-        owner_of = {
-            AccountId(raw): self.owner_of(AccountId(raw))
-            for raw in mapper.accounts_in_shard(shard)
-        }
-        return AccountStore.bootstrap(
-            shard=shard,
-            mapper=mapper,
-            initial_balance=self.workload_config.initial_balance,
-            owner_of=owner_of,
-        )
+    def _bootstrap_store(self, mapper: ShardMapper, shard: int) -> StateStore:
+        """Store for one replica of ``shard`` with the configured backend.
+
+        The shard is bootstrapped once and cached; each replica gets an
+        independent :meth:`~repro.storage.base.StateStore.clone`, which
+        for the columnar backend is an array memcpy instead of a
+        million ``create_account`` calls per replica.
+        """
+        key = int(shard)
+        cached = self._store_cache.get(key)
+        if cached is None:
+            cached = make_store(
+                self.store_backend,
+                shard=shard,
+                mapper=mapper,
+                initial_balance=self.workload_config.initial_balance,
+                owner_of=self.owner_of,
+            )
+            self._store_cache[key] = cached
+        return cached.clone()
 
     # ------------------------------------------------------------------
     # interface implemented by concrete systems
@@ -384,6 +413,8 @@ class SharPerSystem(BaseSystem):
                     network=self.network,
                     cost_model=self.cost_model,
                 )
+                if self.archive is not None:
+                    replica.chain.archive = self.archive
                 self.replicas[int(node)] = replica
 
     # ------------------------------------------------------------------

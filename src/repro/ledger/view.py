@@ -15,12 +15,16 @@ Appending enforces the two properties the paper relies on:
   cluster must equal the hash of block ``k-1``.
 
 Stable checkpoints (:mod:`repro.recovery`) *prune* the view: block
-objects at positions at or below the checkpoint are dropped (bounding
+objects at positions at or below the checkpoint are removed (bounding
 memory for arbitrarily long runs), keeping the checkpointed block as the
 chain *anchor* — the hash-chain base for subsequent appends — and the
 full transaction index, which keeps answering the at-most-once duplicate
-checks for compacted history.  :attr:`ClusterView.height` keeps counting
-from genesis, so heights and positions are stable across pruning.
+checks for compacted history.  With an archival backend attached
+(:attr:`ClusterView.archive`, see :mod:`repro.storage.archive`), the
+pruned block objects are *spilled* into the archive before being
+discarded, so the full history stays queryable offline; without one they
+are simply dropped.  :attr:`ClusterView.height` keeps counting from
+genesis, so heights and positions are stable across pruning.
 """
 
 from __future__ import annotations
@@ -48,6 +52,11 @@ class ClusterView:
         #: position of ``_blocks[0]`` (0 = genesis; > 0 after pruning,
         #: where ``_blocks[0]`` is the checkpointed anchor block).
         self._base = 0
+        #: optional :class:`repro.storage.archive.ArchivalBackend` that
+        #: :meth:`prune` spills dropped blocks into.
+        self.archive = None
+        #: largest number of block objects this view ever retained.
+        self.peak_retained = 1
 
     # ------------------------------------------------------------------
     # read access
@@ -188,6 +197,8 @@ class ClusterView:
         self._by_hash[block.block_hash] = block
         for transaction in block.transactions:
             tx_index[transaction.tx_id] = position
+        if len(self._blocks) > self.peak_retained:
+            self.peak_retained = len(self._blocks)
 
     # ------------------------------------------------------------------
     # checkpointing support (repro.recovery)
@@ -199,13 +210,20 @@ class ClusterView:
         anchor (its hash is the parent reference of position ``upto+1``
         and the base for state-transfer verification); the transaction
         index is kept in full so duplicate detection survives pruning.
-        Returns the number of block objects dropped.
+        With :attr:`archive` attached, the dropped blocks (minus the
+        genesis block) are spilled into the archive first.  Returns the
+        number of block objects dropped.
         """
         upto = min(upto, self.height)
         if upto <= self._base:
             return 0
         keep_from = upto - self._base
         dropped = self._blocks[:keep_from]
+        if self.archive is not None:
+            self.archive.archive_blocks(
+                self.cluster_id,
+                [block for block in dropped if not block.is_genesis],
+            )
         self._blocks = self._blocks[keep_from:]
         for block in dropped:
             self._by_hash.pop(block.block_hash, None)

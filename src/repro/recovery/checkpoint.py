@@ -54,8 +54,13 @@ class StableCheckpoint:
     digest: str
     #: the block at position ``seq`` (the chain anchor a joiner installs).
     anchor: object
-    #: account-store snapshot at exactly slot ``seq``.
-    snapshot: dict
+    #: account-store snapshot at exactly slot ``seq`` (a Mapping; the
+    #: columnar backend ships a lazy view that materialises on demand).
+    snapshot: "dict | object"
+    #: the store half of ``digest``, recorded into the archive on
+    #: stabilisation ("" for snapshots installed via state transfer,
+    #: where the serving peer already archived it).
+    store_digest: str = ""
 
 
 class CheckpointManager(HandlerTable):
@@ -100,9 +105,14 @@ class CheckpointManager(HandlerTable):
         store reflects exactly slots ``1..seq``.
         """
         host = self.host
-        digest = checkpoint_digest(seq, host.chain.head_hash, host.store.state_digest())
+        store_digest = host.store.state_digest()
+        digest = checkpoint_digest(seq, host.chain.head_hash, store_digest)
         self._records[seq] = StableCheckpoint(
-            seq=seq, digest=digest, anchor=host.chain.head, snapshot=host.store.snapshot()
+            seq=seq,
+            digest=digest,
+            anchor=host.chain.head,
+            snapshot=host.store.checkpoint_snapshot(seq),
+            store_digest=store_digest,
         )
         while len(self._records) > self.MAX_PENDING_RECORDS:
             del self._records[min(self._records)]
@@ -155,6 +165,14 @@ class CheckpointManager(HandlerTable):
         host = self.host
         self.stable = record
         seq = record.seq
+        archive = getattr(host.chain, "archive", None)
+        if archive is not None and record.store_digest:
+            archive.record_checkpoint(
+                host.cluster.cluster_id,
+                seq,
+                record.store_digest,
+                getattr(record.anchor, "block_hash", ""),
+            )
         self.entries_truncated += host.log.truncate(seq)
         self.blocks_pruned += host.chain.prune(seq)
         compact = getattr(host.intra, "compact_below", None)

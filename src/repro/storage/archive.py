@@ -1,0 +1,332 @@
+"""Archival backends: checkpoint GC spills pruned history instead of dropping it.
+
+Stable checkpoints authorise garbage collection
+(:mod:`repro.recovery.checkpoint`): the ledger view prunes block objects
+at or below the checkpoint.  With an archive attached
+(``ClusterView.archive``), :meth:`repro.ledger.view.ClusterView.prune`
+hands the dropped blocks to :meth:`ArchivalBackend.archive_blocks`
+before discarding them, so the full history stays queryable offline
+while resident memory remains bounded.
+
+:class:`SqliteArchive` is the stdlib-only implementation.  Rows are
+keyed by ``(cluster, position)`` and written with ``INSERT OR IGNORE``:
+every replica of a cluster spills the *same* rows as its own checkpoint
+stabilises (a replica only garbage-collects state its own digest agreed
+with a quorum on), so concurrent spills are idempotent.  Schema:
+
+``blocks``
+    one row per pruned block per involved cluster — stored hash, this
+    cluster's parent hash, proposer, no-op flag, and the full position
+    vector (JSON) so the block hash can be recomputed offline.
+``txs`` / ``transfers``
+    the block's transactions (payload digest, issuing client, order
+    within the block) and their individual transfers — the replayable
+    record :func:`repro.storage.audit.audit_archive` verifies.
+``xlinks``
+    the pre/post interval index over the block DAG: a cross-shard block
+    at position ``pre`` of cluster ``c`` and ``post`` of cluster ``d``
+    yields the ordered rows ``(c, d, pre, post)`` and ``(d, c, post,
+    pre)``.  Block ``(c, p)`` is then an ancestor of ``(d, q)`` exactly
+    when some chain of such intervals is sandwiched between them
+    (``pre >= p`` and ``post <= q`` for the single-hop case) — the
+    interval-encoding + SQL idiom of the DMR-XPath lineage, adapted
+    from document trees to the position-vector DAG.
+``checkpoints``
+    the quorum-stabilised ``(seq, store digest)`` pairs the offline
+    auditor replays the transfer history against.
+``meta``
+    the bootstrap description (shard layout, initial balance, owner
+    rule) that makes the archive self-contained for replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import TYPE_CHECKING, Iterable
+
+from ..common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..ledger.block import Block
+
+__all__ = ["ArchivalBackend", "SqliteArchive", "open_archive"]
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS blocks (
+    cluster INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    block_hash TEXT NOT NULL,
+    parent_hash TEXT NOT NULL,
+    proposer INTEGER NOT NULL,
+    is_noop INTEGER NOT NULL,
+    positions TEXT NOT NULL,
+    PRIMARY KEY (cluster, position)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS txs (
+    tx_id TEXT NOT NULL,
+    cluster INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    tx_ord INTEGER NOT NULL,
+    client INTEGER NOT NULL,
+    payload_digest TEXT NOT NULL,
+    PRIMARY KEY (tx_id, cluster)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS txs_by_position ON txs (cluster, position);
+CREATE TABLE IF NOT EXISTS transfers (
+    tx_id TEXT NOT NULL,
+    cluster INTEGER NOT NULL,
+    idx INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    source INTEGER NOT NULL,
+    destination INTEGER NOT NULL,
+    amount INTEGER NOT NULL,
+    PRIMARY KEY (tx_id, cluster, idx)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS transfers_by_source ON transfers (cluster, source, position);
+CREATE INDEX IF NOT EXISTS transfers_by_destination ON transfers (cluster, destination, position);
+CREATE TABLE IF NOT EXISTS xlinks (
+    src_cluster INTEGER NOT NULL,
+    dst_cluster INTEGER NOT NULL,
+    pre_position INTEGER NOT NULL,
+    post_position INTEGER NOT NULL,
+    block_hash TEXT NOT NULL,
+    PRIMARY KEY (src_cluster, dst_cluster, pre_position)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS checkpoints (
+    cluster INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    store_digest TEXT NOT NULL,
+    head_hash TEXT NOT NULL,
+    PRIMARY KEY (cluster, seq)
+) WITHOUT ROWID;
+"""
+
+
+class ArchivalBackend:
+    """Interface checkpoint GC spills pruned history into."""
+
+    def archive_blocks(self, cluster_id: int, blocks: "Iterable[Block]") -> int:
+        """Persist pruned ``blocks`` of ``cluster_id``; returns rows added."""
+        raise NotImplementedError
+
+    def record_checkpoint(
+        self, cluster_id: int, seq: int, store_digest: str, head_hash: str
+    ) -> None:
+        """Persist a stabilised checkpoint's store digest for offline audit."""
+        raise NotImplementedError
+
+    def record_bootstrap(self, meta: dict) -> None:
+        """Persist the deployment's bootstrap description (replay input)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make all buffered writes visible to other connections."""
+
+    def close(self) -> None:
+        """Release the backend's resources."""
+
+
+class SqliteArchive(ArchivalBackend):
+    """Sqlite-backed archive (stdlib only; ``:memory:`` supported in tests).
+
+    Durability is deliberately relaxed (``synchronous=OFF``): the archive
+    is a derived, rebuildable audit tier, not the replicated state.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "PRAGMA journal_mode=%s" % ("MEMORY" if self.path == ":memory:" else "WAL")
+        )
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        #: rows actually inserted by this connection (OR IGNORE dedup'd).
+        self.blocks_written = 0
+        self.tx_rows_written = 0
+        self.transfer_rows_written = 0
+        self.checkpoint_rows_written = 0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def archive_blocks(self, cluster_id: int, blocks: "Iterable[Block]") -> int:
+        cluster = int(cluster_id)
+        block_rows = []
+        tx_rows = []
+        transfer_rows = []
+        xlink_rows = []
+        for block in blocks:
+            position = block.position_for(cluster_id)
+            block_rows.append(
+                (
+                    cluster,
+                    position,
+                    block.block_hash,
+                    block.parent_for(cluster_id),
+                    int(block.proposer),
+                    int(block.is_noop),
+                    json.dumps([[int(c), int(i)] for c, i in block.positions]),
+                )
+            )
+            for tx_ord, transaction in enumerate(block.transactions):
+                tx_rows.append(
+                    (
+                        transaction.tx_id,
+                        cluster,
+                        position,
+                        tx_ord,
+                        int(transaction.client),
+                        transaction.payload_digest(),
+                    )
+                )
+                for idx, transfer in enumerate(transaction.transfers):
+                    transfer_rows.append(
+                        (
+                            transaction.tx_id,
+                            cluster,
+                            idx,
+                            position,
+                            int(transfer.source),
+                            int(transfer.destination),
+                            transfer.amount,
+                        )
+                    )
+            if len(block.positions) > 1:
+                for src, pre in block.positions:
+                    for dst, post in block.positions:
+                        if src != dst:
+                            xlink_rows.append(
+                                (int(src), int(dst), pre, post, block.block_hash)
+                            )
+        conn = self._conn
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO blocks VALUES (?, ?, ?, ?, ?, ?, ?)", block_rows
+        )
+        added_blocks = conn.total_changes - before
+        self.blocks_written += added_blocks
+        before = conn.total_changes
+        conn.executemany("INSERT OR IGNORE INTO txs VALUES (?, ?, ?, ?, ?, ?)", tx_rows)
+        self.tx_rows_written += conn.total_changes - before
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO transfers VALUES (?, ?, ?, ?, ?, ?, ?)", transfer_rows
+        )
+        self.transfer_rows_written += conn.total_changes - before
+        conn.executemany(
+            "INSERT OR IGNORE INTO xlinks VALUES (?, ?, ?, ?, ?)", xlink_rows
+        )
+        conn.commit()
+        return added_blocks
+
+    def record_checkpoint(
+        self, cluster_id: int, seq: int, store_digest: str, head_hash: str
+    ) -> None:
+        before = self._conn.total_changes
+        self._conn.execute(
+            "INSERT OR IGNORE INTO checkpoints VALUES (?, ?, ?, ?)",
+            (int(cluster_id), int(seq), store_digest, head_hash),
+        )
+        self.checkpoint_rows_written += self._conn.total_changes - before
+        self._conn.commit()
+
+    def record_bootstrap(self, meta: dict) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta VALUES ('bootstrap', ?)", (json.dumps(meta),)
+        )
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (query surface for history/audit)."""
+        return self._conn
+
+    def bootstrap_meta(self) -> dict | None:
+        """The recorded bootstrap description, or None if absent."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'bootstrap'"
+        ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def clusters(self) -> list[int]:
+        """Clusters with at least one archived block, ascending."""
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT DISTINCT cluster FROM blocks ORDER BY cluster"
+            )
+        ]
+
+    def archived_height(self, cluster_id: int) -> int:
+        """Highest archived position of a cluster (0 when empty)."""
+        row = self._conn.execute(
+            "SELECT MAX(position) FROM blocks WHERE cluster = ?", (int(cluster_id),)
+        ).fetchone()
+        return row[0] or 0
+
+    def _count(self, table: str) -> int:
+        return self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+
+    def blocks_archived(self) -> int:
+        """Total block rows across all clusters."""
+        return self._count("blocks")
+
+    def tx_rows_archived(self) -> int:
+        """Total transaction rows across all clusters."""
+        return self._count("txs")
+
+    def checkpoints_archived(self) -> int:
+        """Total recorded checkpoint rows."""
+        return self._count("checkpoints")
+
+    def size_bytes(self) -> int:
+        """On-disk size of the archive (0 for in-memory archives)."""
+        if self.path == ":memory:":
+            return 0
+        self.flush()
+        try:
+            size = os.path.getsize(self.path)
+            for suffix in ("-wal", "-shm"):
+                sidecar = self.path + suffix
+                if os.path.exists(sidecar):
+                    size += os.path.getsize(sidecar)
+            return size
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+
+def open_archive(source: "str | os.PathLike | SqliteArchive") -> SqliteArchive:
+    """Coerce a path or an existing :class:`SqliteArchive` to an archive.
+
+    History queries and the offline auditor accept either form; opening
+    a path that does not exist is a configuration error (sqlite would
+    happily create an empty database and every audit would "pass").
+    """
+    if isinstance(source, SqliteArchive):
+        return source
+    path = str(source)
+    if path != ":memory:" and not os.path.exists(path):
+        raise ConfigurationError(f"archive database {path!r} does not exist")
+    return SqliteArchive(path)

@@ -1,4 +1,4 @@
-"""Account-based state store for the blockchain accounting application.
+"""Account sharding for the blockchain accounting application.
 
 The paper's evaluation implements "a simple blockchain-based accounting
 application where the data records are client accounts" (Section 4) and
@@ -6,64 +6,62 @@ adopts the account-based transaction model (Section 2.4): the system
 tracks the balance of every account and a transfer is valid only if the
 source account is owned by the requesting client and holds enough funds.
 
-:class:`AccountStore` is the per-shard key-value state each cluster
-replicates.  :class:`ShardMapper` maps accounts to data shards; a
-workload-aware mapper would minimise cross-shard transactions, but the
-evaluation controls the cross-shard fraction directly, so the default is
-a simple modulo/range partitioning.
+:class:`ShardMapper` maps accounts to data shards.  A workload-aware
+mapper would minimise cross-shard transactions, but the evaluation
+controls the cross-shard fraction directly, so two simple strategies
+suffice: ``"range"`` partitions the id space into contiguous ranges
+(the default), ``"modulo"`` stripes ids round-robin (``id % |P|``).
+
+The per-shard state itself lives in :mod:`repro.storage`:
+:class:`~repro.storage.dict_store.AccountStore` (the original dict
+backend) and :class:`~repro.storage.base.Account` are re-exported here
+for compatibility — existing imports of ``repro.txn.accounts`` keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable
 
-from ..common.errors import (
-    ConfigurationError,
-    InsufficientBalanceError,
-    UnknownAccountError,
-    ValidationError,
-)
-from ..common.types import AccountId, ClientId, ShardId
+from ..common.errors import ConfigurationError, UnknownAccountError
+from ..common.types import AccountId, ShardId
+from ..storage.base import Account
+from ..storage.dict_store import AccountStore
 
 __all__ = ["Account", "AccountStore", "ShardMapper"]
-
-
-@dataclass
-class Account:
-    """One client account: a balance and the public key of its owner.
-
-    The paper models an account as the pair ``(amount, PK)``.  We store
-    the owner's client id in place of the public key; ownership checks
-    compare it against the transaction's signer.
-    """
-
-    account_id: AccountId
-    owner: ClientId
-    balance: int
-
-    def __post_init__(self) -> None:
-        if self.balance < 0:
-            raise ValidationError(f"account {self.account_id} cannot start with negative balance")
 
 
 class ShardMapper:
     """Maps account ids to data shards ``d_1 .. d_|P|``.
 
-    The default strategy partitions the account id space into ``|P|``
-    contiguous ranges, which keeps "account i lives in shard i // span"
-    easy to reason about in tests, and mirrors how a workload-aware
-    partitioner would co-locate related accounts.
+    Two partitioning strategies are supported.  ``"range"`` (the
+    default) assigns contiguous id ranges, which keeps "account i lives
+    in shard i // span" easy to reason about in tests and mirrors how a
+    workload-aware partitioner would co-locate related accounts.
+    ``"modulo"`` stripes ids round-robin — ``shard_of(i) = i % |P|`` —
+    the other classic hash-free scheme; it spreads hot contiguous id
+    ranges across every shard.  Either way each shard's population is an
+    arithmetic progression, which the columnar store maps to flat array
+    slots without a hash table.
     """
 
-    def __init__(self, num_shards: int, accounts_per_shard: int) -> None:
+    STRATEGIES = ("range", "modulo")
+
+    def __init__(
+        self, num_shards: int, accounts_per_shard: int, strategy: str = "range"
+    ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
         if accounts_per_shard <= 0:
             raise ConfigurationError("accounts_per_shard must be positive")
+        if strategy not in self.STRATEGIES:
+            raise ConfigurationError(
+                f"unknown partition strategy {strategy!r}; expected one of "
+                f"{self.STRATEGIES}"
+            )
         self.num_shards = num_shards
         self.accounts_per_shard = accounts_per_shard
+        self.strategy = strategy
         self._total_accounts = num_shards * accounts_per_shard
 
     @property
@@ -75,162 +73,19 @@ class ShardMapper:
         """Shard that stores ``account_id``."""
         if not 0 <= account_id < self._total_accounts:
             raise UnknownAccountError(f"account {account_id} is outside the keyspace")
+        if self.strategy == "modulo":
+            return ShardId(account_id % self.num_shards)
         return ShardId(account_id // self.accounts_per_shard)
 
     def accounts_in_shard(self, shard: ShardId) -> range:
-        """The contiguous range of account ids stored in ``shard``."""
+        """The account ids stored in ``shard`` (an arithmetic progression)."""
         if not 0 <= shard < self.num_shards:
             raise ConfigurationError(f"unknown shard {shard}")
+        if self.strategy == "modulo":
+            return range(shard, self._total_accounts, self.num_shards)
         start = shard * self.accounts_per_shard
         return range(start, start + self.accounts_per_shard)
 
     def shards_of(self, account_ids: Iterable[AccountId]) -> frozenset[ShardId]:
         """Set of shards touched by a group of accounts."""
         return frozenset(self.shard_of(account_id) for account_id in account_ids)
-
-
-class AccountStore:
-    """Mutable balance table for (a shard of) the accounting application."""
-
-    def __init__(self, shard: ShardId | None = None) -> None:
-        self.shard = shard
-        self._accounts: dict[AccountId, Account] = {}
-        self.version = 0
-
-    # ------------------------------------------------------------------
-    # setup
-    # ------------------------------------------------------------------
-    def create_account(self, account_id: AccountId, owner: ClientId, balance: int) -> Account:
-        """Create a new account; fails if the id already exists."""
-        if account_id in self._accounts:
-            raise ValidationError(f"account {account_id} already exists")
-        account = Account(account_id=account_id, owner=owner, balance=balance)
-        self._accounts[account_id] = account
-        return account
-
-    @classmethod
-    def bootstrap(
-        cls,
-        shard: ShardId,
-        mapper: ShardMapper,
-        initial_balance: int,
-        owner_of: Mapping[AccountId, ClientId] | None = None,
-    ) -> "AccountStore":
-        """Create a store pre-populated with every account of ``shard``."""
-        store = cls(shard=shard)
-        for raw_id in mapper.accounts_in_shard(shard):
-            account_id = AccountId(raw_id)
-            owner = owner_of[account_id] if owner_of else ClientId(raw_id)
-            store.create_account(account_id, owner, initial_balance)
-        return store
-
-    # ------------------------------------------------------------------
-    # reads
-    # ------------------------------------------------------------------
-    def __contains__(self, account_id: AccountId) -> bool:
-        return account_id in self._accounts
-
-    def __len__(self) -> int:
-        return len(self._accounts)
-
-    def __iter__(self) -> Iterator[Account]:
-        return iter(self._accounts.values())
-
-    def account(self, account_id: AccountId) -> Account:
-        """Return the account record or raise :class:`UnknownAccountError`."""
-        try:
-            return self._accounts[account_id]
-        except KeyError:
-            raise UnknownAccountError(f"unknown account {account_id}") from None
-
-    def balance(self, account_id: AccountId) -> int:
-        """Current balance of ``account_id``."""
-        return self.account(account_id).balance
-
-    def total_balance(self) -> int:
-        """Sum of all balances in this store (conservation invariant)."""
-        return sum(account.balance for account in self._accounts.values())
-
-    # ------------------------------------------------------------------
-    # writes
-    # ------------------------------------------------------------------
-    def deposit(self, account_id: AccountId, amount: int) -> None:
-        """Credit ``amount`` to the account."""
-        if amount < 0:
-            raise ValidationError("deposit amount must be non-negative")
-        self.account(account_id).balance += amount
-        self.version += 1
-
-    def withdraw(self, account_id: AccountId, amount: int, requester: ClientId | None = None) -> None:
-        """Debit ``amount`` from the account.
-
-        If ``requester`` is given it must match the account owner,
-        implementing the paper's "valid signature of its owner" check.
-        """
-        if amount < 0:
-            raise ValidationError("withdrawal amount must be non-negative")
-        account = self.account(account_id)
-        if requester is not None and account.owner != requester:
-            raise ValidationError(
-                f"client {requester} does not own account {account_id}"
-            )
-        if account.balance < amount:
-            raise InsufficientBalanceError(
-                f"account {account_id} holds {account.balance} < {amount}"
-            )
-        account.balance -= amount
-        self.version += 1
-
-    # ------------------------------------------------------------------
-    # snapshots
-    # ------------------------------------------------------------------
-    @staticmethod
-    def digest_entries(entries: "Iterable[tuple[AccountId, ClientId, int]]") -> str:
-        """Digest of ``(account_id, owner, balance)`` triples, in given order.
-
-        The single definition of the store digest format — shared by
-        :meth:`state_digest` (live store) and :meth:`snapshot_digest`
-        (shipped snapshot), which must agree byte for byte for
-        state-transfer verification to work.
-        """
-        hasher = hashlib.sha256()
-        for account_id, owner, balance in entries:
-            hasher.update(f"{int(account_id)}:{int(owner)}:{balance};".encode())
-        return hasher.hexdigest()
-
-    def state_digest(self) -> str:
-        """Deterministic digest of the full balance table.
-
-        Iterates accounts in sorted id order, so every replica that
-        applied the same transaction prefix — regardless of how its
-        store was built (bootstrap or :meth:`restore`) — produces the
-        same digest.  This is the store half of a checkpoint digest
-        (:func:`repro.recovery.checkpoint_digest`).
-        """
-        accounts = self._accounts
-        return self.digest_entries(
-            (account_id, accounts[account_id].owner, accounts[account_id].balance)
-            for account_id in sorted(accounts)
-        )
-
-    @classmethod
-    def snapshot_digest(cls, snapshot: "Mapping[AccountId, tuple[ClientId, int]]") -> str:
-        """:meth:`state_digest` recomputed from a :meth:`snapshot` mapping."""
-        return cls.digest_entries(
-            (account_id, *snapshot[account_id]) for account_id in sorted(snapshot)
-        )
-
-    def snapshot(self) -> dict[AccountId, tuple[ClientId, int]]:
-        """Cheap copy of the full state, used by tests and state transfer."""
-        return {
-            account_id: (account.owner, account.balance)
-            for account_id, account in self._accounts.items()
-        }
-
-    def restore(self, snapshot: Mapping[AccountId, tuple[ClientId, int]]) -> None:
-        """Replace the store contents with ``snapshot``."""
-        self._accounts = {
-            account_id: Account(account_id=account_id, owner=owner, balance=balance)
-            for account_id, (owner, balance) in snapshot.items()
-        }
-        self.version += 1

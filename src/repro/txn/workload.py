@@ -60,6 +60,10 @@ class WorkloadConfig:
     #: accesses draw uniformly over the whole shard, hot accounts
     #: included).  Only meaningful with ``hot_account_fraction > 0``.
     hot_access_fraction: float = 0.0
+    #: how account ids map to shards: ``"range"`` (contiguous ranges,
+    #: the default) or ``"modulo"`` (round-robin striping).  See
+    #: :class:`repro.txn.accounts.ShardMapper`.
+    partition_strategy: str = "range"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cross_shard_fraction <= 1.0:
@@ -76,6 +80,11 @@ class WorkloadConfig:
             raise ConfigurationError("hot_account_fraction must be within [0, 1]")
         if not 0.0 <= self.hot_access_fraction <= 1.0:
             raise ConfigurationError("hot_access_fraction must be within [0, 1]")
+        if self.partition_strategy not in ShardMapper.STRATEGIES:
+            raise ConfigurationError(
+                f"unknown partition strategy {self.partition_strategy!r}; "
+                f"expected one of {ShardMapper.STRATEGIES}"
+            )
 
 
 class WorkloadGenerator:
@@ -91,7 +100,9 @@ class WorkloadGenerator:
             )
         self.config = config
         self.num_shards = num_shards
-        self.mapper = ShardMapper(num_shards, config.accounts_per_shard)
+        self.mapper = ShardMapper(
+            num_shards, config.accounts_per_shard, strategy=config.partition_strategy
+        )
         self.rng = random.Random(seed)
         self.seed = seed
         self.generated = 0
@@ -123,11 +134,17 @@ class WorkloadGenerator:
         accounts = self.mapper.accounts_in_shard(shard)
         config = self.config
         hot_count = max(1, int(len(accounts) * config.hot_account_fraction)) if config.hot_account_fraction else 0
+        # The range strategy keeps the historical draw over raw ids so
+        # seeded workloads stay bit-identical; striped (modulo) shards
+        # draw an index into the progression instead.
+        contiguous = accounts.step == 1
         for _ in range(16):
             if hot_count and self.rng.random() < config.hot_access_fraction:
-                candidate = AccountId(accounts.start + self.rng.randrange(hot_count))
-            else:
+                candidate = AccountId(accounts[self.rng.randrange(hot_count)])
+            elif contiguous:
                 candidate = AccountId(self.rng.randrange(accounts.start, accounts.stop))
+            else:
+                candidate = AccountId(accounts[self.rng.randrange(len(accounts))])
             if candidate != exclude:
                 return candidate
         # Extremely small shards can collide repeatedly; fall back linearly.

@@ -1,0 +1,204 @@
+"""End-to-end storage scenarios: backend equivalence, archived runs, history.
+
+Integration acceptance for the storage subsystem:
+
+* the columnar backend is an *observationally identical* drop-in for the
+  dict backend — same seed, same committed transactions, same chain
+  heights, and bit-identical per-replica store digests, including under
+  crash/recover churn with checkpointing and state transfer;
+* a checkpointed run with an archive attached keeps the resident block
+  count bounded while the archive absorbs the pruned history contiguously,
+  and the offline auditor re-verifies the archived chain and balances;
+* the history query API answers over the archive what the live system
+  can no longer answer after pruning.
+"""
+
+import pytest
+
+from repro.api import DeploymentSpec, FaultSchedule, Scenario
+from repro.common.types import FaultModel
+from repro.storage import HistoryQuery, audit_archive
+from repro.txn.workload import WorkloadConfig
+
+
+def storage_scenario(
+    store_backend: str,
+    archive: str | None = None,
+    checkpoint_interval: int | None = 20,
+    faults: FaultSchedule | None = None,
+    duration: float = 0.8,
+    seed: int = 5,
+) -> Scenario:
+    return Scenario(
+        deployment=DeploymentSpec(
+            system="sharper",
+            fault_model=FaultModel.CRASH,
+            num_clusters=3,
+            checkpoint_interval=checkpoint_interval,
+            store_backend=store_backend,
+            archive=archive,
+        ),
+        workload=WorkloadConfig(cross_shard_fraction=0.1, accounts_per_shard=256),
+        clients=12,
+        duration=duration,
+        seed=seed,
+        faults=faults or FaultSchedule(),
+    )
+
+
+def replica_digests(result) -> dict:
+    return {
+        pid: replica.store.state_digest()
+        for pid, replica in result.system.replicas.items()
+    }
+
+
+class TestDifferentialBackends:
+    def test_columnar_is_observationally_identical_to_dict(self):
+        """Satellite acceptance: backend equivalence, bit for bit."""
+        dict_result = storage_scenario("dict").run()
+        columnar_result = storage_scenario("columnar").run()
+        dict_result.raise_if_failed()
+        columnar_result.raise_if_failed()
+        assert dict_result.stats.committed == columnar_result.stats.committed
+        assert dict_result.stats.committed_cross == columnar_result.stats.committed_cross
+        assert dict_result.chain_heights == columnar_result.chain_heights
+        assert dict_result.total_balance == columnar_result.total_balance
+        assert replica_digests(dict_result) == replica_digests(columnar_result)
+        assert dict_result.storage.backend == "dict"
+        assert columnar_result.storage.backend == "columnar"
+
+    def test_backends_identical_under_crash_and_recovery(self):
+        """Equivalence must survive checkpoint restore and state transfer."""
+        def faults():
+            return (
+                FaultSchedule()
+                .crash_node(at=0.2, node_id=2)
+                .recover_node(at=0.5, node_id=2)
+            )
+
+        dict_result = storage_scenario("dict", faults=faults(), seed=9).run()
+        columnar_result = storage_scenario("columnar", faults=faults(), seed=9).run()
+        dict_result.raise_if_failed()
+        columnar_result.raise_if_failed()
+        assert dict_result.stats.committed == columnar_result.stats.committed
+        assert dict_result.chain_heights == columnar_result.chain_heights
+        assert replica_digests(dict_result) == replica_digests(columnar_result)
+        # The recovered replica actually exercised snapshot restore.
+        assert dict_result.recovery.state_transfers_completed > 0
+        assert columnar_result.recovery.state_transfers_completed > 0
+
+
+class TestArchivedRun:
+    def test_bounded_residency_with_contiguous_archive(self):
+        """Tentpole acceptance: prune spills, residency stays bounded."""
+        interval = 20
+        result = storage_scenario(
+            "columnar", archive=":memory:", checkpoint_interval=interval
+        ).run()
+        result.raise_if_failed()
+        storage = result.storage
+        decided = min(result.chain_heights.values())
+        assert decided >= 5 * interval, "run too short to prove anything"
+        assert storage.archived
+        assert storage.archive_blocks > 0
+        assert storage.archive_tx_rows > 0
+        assert storage.archive_checkpoints > 0
+        # Resident blocks are bounded by the checkpoint window, not the
+        # run length: the ledger never retains the full chain.
+        assert storage.peak_ledger_blocks < decided
+        assert storage.peak_ledger_blocks <= 4 * interval
+        # The archive holds the pruned prefix contiguously.
+        archive = result.system.archive
+        history = HistoryQuery(archive)
+        for cluster_id in result.chain_heights:
+            height = archive.archived_height(int(cluster_id))
+            assert height > 0
+            blocks = history.blocks_in_range(int(cluster_id), 1, height)
+            assert [block.position for block in blocks] == list(range(1, height + 1))
+
+    def test_offline_audit_passes_on_archived_run(self):
+        result = storage_scenario(
+            "columnar", archive=":memory:", checkpoint_interval=16, seed=7
+        ).run()
+        result.raise_if_failed()
+        report = audit_archive(result.system.archive)
+        assert report.ok, report.problems
+        assert report.blocks_verified > 0
+        assert report.txs_replayed > 0
+        assert report.checkpoints_verified > 0
+        assert report.failed_replays == 0
+
+    def test_dict_backend_archives_too(self):
+        result = storage_scenario(
+            "dict", archive=":memory:", checkpoint_interval=16, seed=3
+        ).run()
+        result.raise_if_failed()
+        assert result.storage.archived
+        report = audit_archive(result.system.archive)
+        assert report.ok, report.problems
+
+    def test_storage_gauges_in_report(self):
+        """Satellite acceptance: gauges surface in summary() and as_dict()."""
+        result = storage_scenario(
+            "columnar", archive=":memory:", duration=0.4
+        ).run()
+        row = result.as_dict()
+        assert row["store_backend"] == "columnar"
+        # Summed over every replica: 3 clusters x 3 crash-model replicas.
+        assert row["resident_accounts"] == 9 * 256
+        assert row["archive_blocks"] > 0
+        summary = result.summary()
+        assert "storage" in summary
+        assert "columnar" in summary
+        assert "archive" in summary
+
+    def test_unarchived_run_reports_no_archive(self):
+        result = storage_scenario("columnar", archive=None, duration=0.4).run()
+        assert result.storage is not None
+        assert not result.storage.archived
+        assert result.storage.archive_blocks == 0
+
+
+class TestHistoryOverArchivedRun:
+    @pytest.fixture(scope="class")
+    def archived_result(self):
+        result = storage_scenario(
+            "columnar", archive=":memory:", checkpoint_interval=16, seed=13
+        ).run()
+        result.raise_if_failed()
+        return result
+
+    def test_archived_tx_queryable_by_id(self, archived_result):
+        history = HistoryQuery(archived_result.system.archive)
+        block = history.block_at(0, 1)
+        assert block.tx_ids or block.is_noop
+        if block.tx_ids:
+            tx = history.tx_by_id(block.tx_ids[0])
+            assert (0, 1) in tx.positions
+            assert tx.transfers
+
+    def test_account_activity_covers_pruned_prefix(self, archived_result):
+        history = HistoryQuery(archived_result.system.archive)
+        archive = archived_result.system.archive
+        # Some account of shard 0 must have archived activity.
+        row = archive.connection.execute(
+            "SELECT source FROM transfers WHERE cluster = 0 LIMIT 1"
+        ).fetchone()
+        assert row is not None
+        activity = history.account_activity(row[0])
+        assert activity
+        assert all(record.delta != 0 for record in activity if record.source != record.destination)
+
+    def test_cross_shard_ancestry_over_archive(self, archived_result):
+        archive = archived_result.system.archive
+        history = HistoryQuery(archive)
+        cross = archive.connection.execute(
+            "SELECT src_cluster, dst_cluster, pre_position, post_position"
+            " FROM xlinks LIMIT 1"
+        ).fetchone()
+        assert cross is not None, "cross-shard workload produced no archived links"
+        src, dst, pre, post = cross
+        if pre > 1:
+            assert history.is_ancestor((src, 1), (dst, post))
+        assert not history.is_ancestor((src, pre), (dst, post))  # same block

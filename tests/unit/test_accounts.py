@@ -118,3 +118,91 @@ class TestAccountStore:
         store.deposit(1, 1)
         store.withdraw(1, 1)
         assert store.version == version + 2
+
+
+class TestModuloStrategy:
+    def test_striped_assignment(self):
+        mapper = ShardMapper(num_shards=4, accounts_per_shard=10, strategy="modulo")
+        assert mapper.shard_of(0) == 0
+        assert mapper.shard_of(1) == 1
+        assert mapper.shard_of(4) == 0
+        assert mapper.shard_of(39) == 3
+        assert mapper.total_accounts == 40
+
+    def test_accounts_in_shard_is_progression(self):
+        mapper = ShardMapper(3, 5, strategy="modulo")
+        accounts = mapper.accounts_in_shard(1)
+        assert list(accounts) == [1, 4, 7, 10, 13]
+        assert accounts.step == 3
+
+    def test_every_account_has_exactly_one_home(self):
+        mapper = ShardMapper(4, 8, strategy="modulo")
+        homes = {}
+        for shard in range(4):
+            for account in mapper.accounts_in_shard(shard):
+                assert account not in homes
+                homes[account] = shard
+        assert len(homes) == mapper.total_accounts
+        for account, shard in homes.items():
+            assert mapper.shard_of(account) == shard
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardMapper(2, 4, strategy="hash")
+
+
+class TestIncrementalDigest:
+    """The memoised digest must pin the naive sorted-table computation."""
+
+    def _store(self):
+        mapper = ShardMapper(2, 16)
+        return AccountStore.bootstrap(0, mapper, initial_balance=100)
+
+    def test_digest_matches_naive_after_writes(self):
+        store = self._store()
+        assert store.state_digest() == store.naive_state_digest()
+        store.deposit(3, 7)
+        store.withdraw(5, 2)
+        store.deposit(3, 1)
+        assert store.state_digest() == store.naive_state_digest()
+
+    def test_digest_memoised_between_applies(self):
+        store = self._store()
+        first = store.state_digest()
+        assert store.state_digest() == first  # no writes: cached
+        store.deposit(1, 1)
+        second = store.state_digest()
+        assert second != first
+        assert second == store.naive_state_digest()
+
+    def test_digest_incremental_equals_full_rebuild(self):
+        import random
+
+        rng = random.Random(42)
+        store = self._store()
+        fresh = self._store()
+        for _ in range(200):
+            account = rng.randrange(16)
+            amount = rng.randint(1, 5)
+            if rng.random() < 0.5 and store.balance(account) >= amount:
+                store.withdraw(account, amount)
+                fresh.withdraw(account, amount)
+            else:
+                store.deposit(account, amount)
+                fresh.deposit(account, amount)
+            if rng.random() < 0.2:
+                assert store.state_digest() == fresh.naive_state_digest()
+        assert store.state_digest() == fresh.naive_state_digest()
+
+    def test_snapshot_digest_matches_state_digest(self):
+        store = self._store()
+        store.deposit(2, 9)
+        assert AccountStore.snapshot_digest(store.snapshot()) == store.state_digest()
+
+    def test_restore_resets_memo(self):
+        store = self._store()
+        snapshot = store.snapshot()
+        digest = store.state_digest()
+        store.deposit(0, 50)
+        store.restore(snapshot)
+        assert store.state_digest() == digest

@@ -1,0 +1,267 @@
+"""Unit tests for the archival tier (archive schema, history queries, audit).
+
+A small hash-chain-valid history is built by hand: two clusters, one
+cross-shard block, every parent hash derived the way the live ledger
+derives them — so the offline auditor's recomputation genuinely checks
+the same encodings the system uses.
+"""
+
+import pytest
+
+from repro.common.crypto import GENESIS_HASH, chain_hash
+from repro.common.errors import ConfigurationError, UnknownBlockError
+from repro.ledger.block import GENESIS_BLOCK_ID, Block
+from repro.storage import (
+    ArrayAccountStore,
+    HistoryQuery,
+    SqliteArchive,
+    audit_archive,
+    open_archive,
+)
+from repro.txn.accounts import ShardMapper
+from repro.txn.transaction import Transaction, Transfer
+
+BOOTSTRAP = {
+    "num_shards": 2,
+    "accounts_per_shard": 4,
+    "partition_strategy": "range",
+    "initial_balance": 100,
+    "num_clients": 2,
+}
+
+
+def _tx(tx_id, source, destination, amount):
+    return Transaction.multi_transfer(
+        client=source % BOOTSTRAP["num_clients"],
+        transfers=[Transfer(source=source, destination=destination, amount=amount)],
+        timestamp=0.0,
+        tx_id=tx_id,
+    )
+
+
+def _build_history():
+    """Blocks of a 2-cluster run: 3 on cluster 0, 2 on cluster 1, one shared."""
+    genesis = chain_hash(GENESIS_BLOCK_ID, GENESIS_HASH)
+    b1 = Block.create(_tx("tx-a", 1, 2, 5), {0: 1}, proposer=0, parents={0: genesis})
+    cross = Block.create(
+        _tx("tx-x", 0, 5, 3),
+        {0: 2, 1: 1},
+        proposer=0,
+        parents={0: b1.block_hash, 1: genesis},
+    )
+    b3 = Block.create(
+        _tx("tx-b", 2, 3, 1), {0: 3}, proposer=0, parents={0: cross.block_hash}
+    )
+    b4 = Block.create(
+        _tx("tx-c", 4, 6, 2), {1: 2}, proposer=1, parents={1: cross.block_hash}
+    )
+    return {"b1": b1, "cross": cross, "b3": b3, "b4": b4}
+
+
+def _archived(record_checkpoint=True):
+    archive = SqliteArchive(":memory:")
+    archive.record_bootstrap(BOOTSTRAP)
+    blocks = _build_history()
+    archive.archive_blocks(0, [blocks["b1"], blocks["cross"], blocks["b3"]])
+    archive.archive_blocks(1, [blocks["cross"], blocks["b4"]])
+    if record_checkpoint:
+        # The store digest cluster 0's replicas would have stabilised
+        # after block 3: tx-a, the out-half of tx-x, then tx-b.
+        mapper = ShardMapper(BOOTSTRAP["num_shards"], BOOTSTRAP["accounts_per_shard"])
+        store = ArrayAccountStore.bootstrap(
+            0, mapper, BOOTSTRAP["initial_balance"],
+            owner_of=lambda account: account % BOOTSTRAP["num_clients"],
+        )
+        store.withdraw(1, 5)
+        store.deposit(2, 5)
+        store.withdraw(0, 3)
+        store.withdraw(2, 1)
+        store.deposit(3, 1)
+        archive.record_checkpoint(0, 3, store.state_digest(), blocks["b3"].block_hash)
+    return archive, blocks
+
+
+class TestSqliteArchive:
+    def test_roundtrip_counts(self):
+        archive, _ = _archived()
+        assert archive.clusters() == [0, 1]
+        assert archive.blocks_archived() == 5  # 3 + 2 rows (cross appears twice)
+        assert archive.tx_rows_archived() == 5
+        assert archive.archived_height(0) == 3
+        assert archive.archived_height(1) == 2
+        assert archive.archived_height(7) == 0
+        assert archive.checkpoints_archived() == 1
+        assert archive.size_bytes() == 0  # in-memory
+
+    def test_respill_is_idempotent(self):
+        archive, blocks = _archived(record_checkpoint=False)
+        written = archive.blocks_written
+        added = archive.archive_blocks(0, [blocks["b1"], blocks["cross"]])
+        assert added == 0
+        assert archive.blocks_written == written
+        assert archive.blocks_archived() == 5
+        assert archive.tx_rows_archived() == 5
+
+    def test_bootstrap_meta_roundtrip(self):
+        archive, _ = _archived()
+        assert archive.bootstrap_meta() == BOOTSTRAP
+        assert SqliteArchive(":memory:").bootstrap_meta() is None
+
+    def test_open_archive_rejects_missing_path(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            open_archive(tmp_path / "nope.db")
+
+    def test_open_archive_passes_through(self):
+        archive = SqliteArchive(":memory:")
+        assert open_archive(archive) is archive
+
+    def test_open_archive_reads_from_disk(self, tmp_path):
+        path = tmp_path / "archive.db"
+        archive, _ = _archived()
+        # Rebuild on disk: :memory: archives cannot be reopened.
+        disk = SqliteArchive(str(path))
+        disk.record_bootstrap(BOOTSTRAP)
+        blocks = _build_history()
+        disk.archive_blocks(0, [blocks["b1"], blocks["cross"], blocks["b3"]])
+        disk.close()
+        reopened = open_archive(path)
+        assert reopened.blocks_archived() == 3
+        assert reopened.bootstrap_meta() == BOOTSTRAP
+        reopened.close()
+
+
+class TestHistoryQuery:
+    def test_block_at(self):
+        archive, blocks = _archived()
+        history = HistoryQuery(archive)
+        block = history.block_at(0, 2)
+        assert block.block_hash == blocks["cross"].block_hash
+        assert block.is_cross_shard
+        assert block.positions == ((0, 2), (1, 1))
+        assert block.tx_ids == ("tx-x",)
+        assert not history.block_at(0, 1).is_cross_shard
+        with pytest.raises(UnknownBlockError):
+            history.block_at(0, 9)
+
+    def test_blocks_in_range(self):
+        archive, _ = _archived()
+        history = HistoryQuery(archive)
+        positions = [block.position for block in history.blocks_in_range(0, 2, 3)]
+        assert positions == [2, 3]
+
+    def test_tx_by_id_spans_clusters(self):
+        archive, _ = _archived()
+        history = HistoryQuery(archive)
+        tx = history.tx_by_id("tx-x")
+        assert tx.positions == ((0, 2), (1, 1))
+        assert tx.transfers == ((0, 5, 3),)
+        assert history.tx_by_id("tx-c").positions == ((1, 2),)
+        with pytest.raises(UnknownBlockError):
+            history.tx_by_id("tx-missing")
+
+    def test_account_activity_uses_home_cluster(self):
+        archive, _ = _archived()
+        history = HistoryQuery(archive)
+        activity = history.account_activity(2)  # shard 0 via bootstrap meta
+        assert [(record.position, record.delta) for record in activity] == [
+            (1, 5),   # tx-a credits 2
+            (3, -1),  # tx-b debits 2
+        ]
+        assert activity[0].tx_id == "tx-a"
+        # The cross-shard destination lives on cluster 1.
+        cross_in = history.account_activity(5)
+        assert [(record.position, record.delta) for record in cross_in] == [(1, 3)]
+
+    def test_is_ancestor_same_cluster(self):
+        archive, _ = _archived()
+        history = HistoryQuery(archive)
+        assert history.is_ancestor((0, 1), (0, 3))
+        assert not history.is_ancestor((0, 3), (0, 1))
+        assert not history.is_ancestor((0, 2), (0, 2))
+
+    def test_is_ancestor_single_hop(self):
+        archive, _ = _archived()
+        history = HistoryQuery(archive)
+        # b1 at (0,1) precedes the cross block, which precedes b4 at (1,2).
+        assert history.is_ancestor((0, 1), (1, 2))
+        assert history.is_ancestor((0, 2), (1, 2))
+        # b4 commits after the cross block; nothing links it back to 0's chain.
+        assert not history.is_ancestor((1, 2), (0, 3))
+
+    def test_same_cross_block_is_not_its_own_ancestor(self):
+        archive, _ = _archived()
+        history = HistoryQuery(archive)
+        # (0,2) and (1,1) name the same cross-shard block.
+        assert not history.is_ancestor((0, 2), (1, 1))
+        assert not history.is_ancestor((1, 1), (0, 2))
+
+    def test_is_ancestor_multi_hop(self):
+        # Three clusters chained 0 -> 1 -> 2 through two cross blocks.
+        meta = dict(BOOTSTRAP, num_shards=3)
+        archive = SqliteArchive(":memory:")
+        archive.record_bootstrap(meta)
+        genesis = chain_hash(GENESIS_BLOCK_ID, GENESIS_HASH)
+        hop1 = Block.create(
+            _tx("tx-h1", 0, 5, 1), {0: 1, 1: 1}, proposer=0,
+            parents={0: genesis, 1: genesis},
+        )
+        hop2 = Block.create(
+            _tx("tx-h2", 4, 9, 1), {1: 2, 2: 1}, proposer=1,
+            parents={1: hop1.block_hash, 2: genesis},
+        )
+        tail = Block.create(
+            _tx("tx-h3", 8, 9, 1), {2: 2}, proposer=2, parents={2: hop2.block_hash}
+        )
+        archive.archive_blocks(0, [hop1])
+        archive.archive_blocks(1, [hop1, hop2])
+        archive.archive_blocks(2, [hop2, tail])
+        history = HistoryQuery(archive)
+        assert history.is_ancestor((0, 1), (2, 2))  # needs the recursive CTE
+        assert not history.is_ancestor((2, 2), (0, 1))
+
+
+class TestAuditArchive:
+    def test_clean_archive_passes(self):
+        archive, _ = _archived()
+        report = audit_archive(archive)
+        assert report.ok, report.problems
+        assert report.clusters_audited == 2
+        assert report.blocks_verified == 5
+        assert report.txs_replayed == 5
+        assert report.checkpoints_verified == 1
+        assert report.failed_replays == 0
+        report.raise_if_failed()
+        assert "2 clusters" in report.summary()
+
+    def test_empty_archive_passes(self):
+        assert audit_archive(SqliteArchive(":memory:")).ok
+
+    def test_tampered_amount_detected(self):
+        archive, _ = _archived()
+        archive.connection.execute(
+            "UPDATE transfers SET amount = 50 WHERE tx_id = 'tx-a'"
+        )
+        report = audit_archive(archive)
+        assert not report.ok
+        assert any(
+            "digest" in problem or "conserv" in problem for problem in report.problems
+        )
+        with pytest.raises(Exception):
+            report.raise_if_failed()
+
+    def test_tampered_block_hash_detected(self):
+        archive, _ = _archived()
+        archive.connection.execute(
+            "UPDATE blocks SET block_hash = 'deadbeef' WHERE cluster = 0 AND position = 1"
+        )
+        report = audit_archive(archive)
+        assert not report.ok
+
+    def test_missing_block_breaks_contiguity(self):
+        archive, _ = _archived(record_checkpoint=False)
+        archive.connection.execute(
+            "DELETE FROM blocks WHERE cluster = 0 AND position = 2"
+        )
+        report = audit_archive(archive)
+        assert not report.ok
+        assert any("contiguous" in problem or "gap" in problem for problem in report.problems)
