@@ -58,9 +58,11 @@ auditor — see ``examples/byzantine_attacks.py`` and
 from .auditor import SafetyAuditor, SafetyReport
 from .behaviors import (
     AdversaryBehavior,
+    CheckpointSuppressor,
     DelayAttacker,
     EquivocatingPrimary,
     ForgedViewAttacker,
+    MuteDuringViewChange,
     QuorumAwareEquivocator,
     SelectiveSilence,
     SilentPrimary,
@@ -82,6 +84,7 @@ from .interceptor import MessageInterceptor, Outbound
 
 __all__ = [
     "AdversaryBehavior",
+    "CheckpointSuppressor",
     "ClientBehavior",
     "Coalition",
     "CoalitionMember",
@@ -91,6 +94,7 @@ __all__ = [
     "ForgedSignatureClient",
     "ForgedViewAttacker",
     "MessageInterceptor",
+    "MuteDuringViewChange",
     "Outbound",
     "OwnershipViolatorClient",
     "QuorumAwareEquivocator",

@@ -33,6 +33,12 @@ Shipped behaviours:
   ROADMAP gap list: reads the host's live prepare-quorum tracker and
   sends conflicting prepares only at the exact moment its vote would
   complete the ``2f + 1`` quorum, staying honest otherwise.
+* ``mute-during-view-change`` — silent only while a view change is in
+  flight, withholding its election vote at the most fragile moment
+  while leaving no steady-state evidence to suspect it over.
+* ``checkpoint-suppressor`` — drops outbound checkpoint messages to
+  stall garbage collection; the stall is bounded by quorum stability
+  (``f`` suppressors cannot starve a ``2f + 1`` checkpoint quorum).
 
 All behaviours are safe-by-construction targets for the
 :class:`~repro.adversary.auditor.SafetyAuditor`: with at most ``f``
@@ -63,6 +69,7 @@ from ..consensus.messages import (
     PrePrepare,
     ViewChange,
 )
+from ..recovery.messages import Checkpoint
 from .interceptor import MessageInterceptor, Outbound
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -70,9 +77,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 __all__ = [
     "AdversaryBehavior",
+    "CheckpointSuppressor",
     "DelayAttacker",
     "EquivocatingPrimary",
     "ForgedViewAttacker",
+    "MuteDuringViewChange",
     "QuorumAwareEquivocator",
     "SelectiveSilence",
     "SilentPrimary",
@@ -570,3 +579,64 @@ class ForgedViewAttacker(AdversaryBehavior):
             self._announced = True
             actions.extend(self._takeover_messages(target))
         return self.emit(*actions)
+
+
+@register_behavior("mute-during-view-change", aliases=("vc-mute",))
+class MuteDuringViewChange(AdversaryBehavior):
+    """Go silent exactly while a view change is in flight.
+
+    The adaptive complement of ``silent-primary``: the node behaves
+    correctly in steady state — votes, proposes, replies — but the
+    moment it starts participating in a view change (its own
+    ``in_view_change`` flag, set between suspecting the primary and
+    installing the successor view) it drops *everything* outbound,
+    including its own view-change vote.  That withholds one voter from
+    the election at its most fragile moment while leaving no steady-
+    state evidence to suspect this node over.
+
+    With at most ``f`` such nodes per cluster the election still
+    completes: the new primary needs a quorum of view-change votes, the
+    correct replicas supply it (the muted node's *own* vote still counts
+    locally if the rotation lands on it, and its ``NewView`` passes —
+    ``in_view_change`` clears at installation, before the announcement
+    is sent), and ordering resumes in the new view.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self.muted_messages = 0
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        engine = getattr(self.process, "intra", None)
+        manager = getattr(engine, "view_change", None)
+        if manager is not None and manager.in_view_change:
+            self.muted_messages += 1
+            return self.drop()
+        return self.pass_through()
+
+
+@register_behavior("checkpoint-suppressor", aliases=("gc-staller",))
+class CheckpointSuppressor(AdversaryBehavior):
+    """Drop outbound checkpoint messages to stall garbage collection.
+
+    Checkpoint stability needs an intra-quorum of matching signed
+    digests (:mod:`repro.recovery.checkpoint`); a suppressor keeps
+    taking checkpoints locally but never shares them, trying to starve
+    the quorum so logs and ledgers grow without bound.  The stall is
+    bounded by quorum stability: with at most ``f`` suppressors per
+    cluster the ``2f + 1`` (crash: ``f + 1``) correct replicas still
+    exchange enough matching digests to stabilise every interval, and
+    even the suppressor itself garbage-collects — it still *receives*
+    its peers' checkpoints and counts its own unsent vote.  Ordering
+    traffic is untouched, so the behaviour is invisible to throughput.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self.suppressed_checkpoints = 0
+
+    def outbound(self, dst: int, message: object) -> Sequence[Outbound] | None:
+        if type(message) is Checkpoint:
+            self.suppressed_checkpoints += 1
+            return self.drop()
+        return self.pass_through()

@@ -70,6 +70,13 @@ class DeploymentSpec:
     #: when set, replaces ``tuning.checkpoint_interval`` (decided slots
     #: between checkpoints; 0 disables checkpointing and log GC).
     checkpoint_interval: int | None = None
+    #: convenience overrides for the batching knobs: when set, they
+    #: replace ``tuning.batch_size`` (requests ordered per consensus
+    #: slot; 1 disables batching — bit-identical to the unbatched
+    #: seeds) and ``tuning.pipeline_depth`` (in-flight batched slots
+    #: per primary; binds only when batching is armed).
+    batch_size: int | None = None
+    pipeline_depth: int | None = None
     #: replica state-store backend: "dict" (default) or "columnar"
     #: (flat-column store for million-account shards).
     store_backend: str = "dict"
@@ -93,6 +100,10 @@ class DeploymentSpec:
             tuning = dataclasses.replace(
                 tuning, checkpoint_interval=self.checkpoint_interval
             )
+        if self.batch_size is not None:
+            tuning = dataclasses.replace(tuning, batch_size=self.batch_size)
+        if self.pipeline_depth is not None:
+            tuning = dataclasses.replace(tuning, pipeline_depth=self.pipeline_depth)
         return SystemConfig.build(
             num_clusters=self.num_clusters,
             fault_model=self.fault_model,

@@ -21,6 +21,7 @@ optionally crashing a primary or turning it Byzantine mid-run::
     sharper-bench --scenario sharper --cross-shard 0.2 --clients 32
     sharper-bench --scenario ahl --byzantine --crash-primary-at 0.1
     sharper-bench --scenario sharper --byzantine --attack equivocating-primary
+    sharper-bench --scenario sharper --batch-size 16 --pipeline-depth 4
     sharper-bench --list-attacks
 """
 
@@ -124,6 +125,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario: which cluster's primary turns Byzantine (default 0)",
     )
 
+    batching = parser.add_argument_group("batching (repro.consensus.batching)")
+    batching.add_argument(
+        "--batch-size", type=int, default=1, metavar="B",
+        help="scenario: client requests ordered per consensus slot "
+        "(default 1 — batching disabled, bit-identical to the unbatched "
+        "protocol; B > 1 arms the primary-side batching pipeline)",
+    )
+    batching.add_argument(
+        "--pipeline-depth", type=int, default=32, metavar="D",
+        help="scenario: batched slots a primary keeps in flight before "
+        "queuing (default 32; enforced only when --batch-size > 1)",
+    )
+
     recovery = parser.add_argument_group("recovery (repro.recovery)")
     recovery.add_argument(
         "--checkpoint-interval", type=int, default=0, metavar="N",
@@ -207,6 +221,8 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 fault_model=fault_model,
                 num_clusters=args.clusters,
                 checkpoint_interval=args.checkpoint_interval or None,
+                batch_size=args.batch_size if args.batch_size != 1 else None,
+                pipeline_depth=args.pipeline_depth if args.pipeline_depth != 32 else None,
                 store_backend=args.store_backend,
                 archive=args.archive,
             ),

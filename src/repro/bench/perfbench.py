@@ -13,7 +13,13 @@ Two workloads are timed:
   second, straight from :attr:`Simulator.events_per_second`;
 * **fig8** — the paper's scalability sweep (SharPer, crash model, 10%
   cross-shard, 2–5 clusters, quick client sweep), reporting wall and CPU
-  seconds per point and in total.
+  seconds per point and in total;
+* **batching** — the request-batching curve (batch size × clusters ×
+  pipeline depth, :mod:`repro.consensus.batching`), reporting the peak
+  *simulated* tps of every configuration against the batch=1 baseline
+  measured in the same run.  Simulated tps is deterministic, so the
+  batching speedup is host-independent; the per-configuration wall
+  times use the same interleaved min-of-N discipline as fig8.
 
 The file also embeds :data:`BASELINE` — the same workloads measured on
 the pre-refactor tree (commit ``0781ed5``, interleaved back-to-back with
@@ -33,11 +39,18 @@ import platform
 import time
 from typing import Sequence
 
+from ..common.config import ProtocolTuning
 from ..common.types import FaultModel
 from ..sim.simulator import Simulator
 from .harness import ExperimentSpec, run_curve
 
-__all__ = ["BASELINE", "kernel_benchmark", "fig8_benchmark", "main"]
+__all__ = [
+    "BASELINE",
+    "batching_benchmark",
+    "fig8_benchmark",
+    "kernel_benchmark",
+    "main",
+]
 
 #: Pre-refactor measurements (commit 0781ed5) recorded on the original
 #: development host, interleaved with the refactored tree to cancel out
@@ -145,6 +158,113 @@ def fig8_benchmark(
     }
 
 
+def batching_benchmark(
+    clusters: Sequence[int] = (2, 5),
+    batch_sizes: Sequence[int] = (1, 8, 16),
+    depths: Sequence[int] = (1, 4),
+    clients: Sequence[int] = (120, 480, 960),
+    duration: float = 0.30,
+    warmup: float = 0.06,
+    jobs: int = 1,
+    repeats: int = 1,
+) -> dict:
+    """Batch-size × clusters × pipeline-depth throughput curve.
+
+    Every configuration sweeps the full client ladder and records its
+    *peak simulated tps* — the metric the batching pipeline exists to
+    move, and one that is deterministic for a given seed, so the
+    speedup against the batch=1 baseline is host-independent.  Wall
+    times are informational only and follow the interleaved min-of-N
+    discipline: each repeat round-robins through every configuration
+    before the next repeat starts, so host-speed drift (>20% on the
+    reference machine) hits all configurations alike, and the minimum
+    per configuration is reported.
+
+    ``batch_size=1`` disables the pipeline entirely (the bit-identical
+    legacy path), so pipeline depth is meaningless there and only the
+    first depth is run — it serves as the in-run baseline that
+    ``speedup_vs_unbatched`` is computed against per cluster count.
+    """
+    configs: list[dict] = []
+    for num_clusters in clusters:
+        for batch_size in batch_sizes:
+            for depth in depths if batch_size > 1 else depths[:1]:
+                configs.append(
+                    {
+                        "key": f"c{num_clusters}/b{batch_size}/d{depth}",
+                        "clusters": num_clusters,
+                        "batch_size": batch_size,
+                        "depth": depth,
+                        "spec": ExperimentSpec(
+                            system="sharper",
+                            fault_model=FaultModel.CRASH,
+                            num_clusters=num_clusters,
+                            cross_shard_fraction=0.1,
+                            duration=duration,
+                            warmup=warmup,
+                            tuning=ProtocolTuning(
+                                batch_size=batch_size, pipeline_depth=depth
+                            ),
+                        ),
+                    }
+                )
+    walls: dict[str, float] = {}
+    curves: dict[str, object] = {}
+    for _ in range(max(repeats, 1)):
+        for config in configs:  # interleaved: drift hits every config alike
+            wall_start = time.perf_counter()
+            curve = run_curve(config["spec"], list(clients), jobs=jobs)
+            run_wall = time.perf_counter() - wall_start
+            key = config["key"]
+            if key not in walls or run_wall < walls[key]:
+                walls[key] = run_wall
+            curves[key] = curve  # simulated results are deterministic
+    points: dict[str, dict] = {}
+    baseline_peak: dict[str, float] = {}
+    best: dict[str, dict] = {}
+    for config in configs:
+        key = config["key"]
+        peak = curves[key].peak()
+        point = {
+            "clusters": config["clusters"],
+            "batch_size": config["batch_size"],
+            "pipeline_depth": config["depth"],
+            "peak_tps": round(peak.throughput, 1),
+            "peak_clients": peak.clients,
+            "wall_s": round(walls[key], 3),
+        }
+        points[key] = point
+        label = str(config["clusters"])
+        if config["batch_size"] == 1:
+            baseline_peak[label] = point["peak_tps"]
+        if label not in best or point["peak_tps"] > best[label]["peak_tps"]:
+            best[label] = point
+    speedup = {
+        label: round(best[label]["peak_tps"] / baseline_peak[label], 2)
+        for label in baseline_peak
+        if baseline_peak[label]
+    }
+    return {
+        "clusters": list(clusters),
+        "batch_sizes": list(batch_sizes),
+        "pipeline_depths": list(depths),
+        "clients": list(clients),
+        "duration": duration,
+        "warmup": warmup,
+        "jobs": jobs,
+        "repeats": max(repeats, 1),
+        "methodology": (
+            "peak simulated tps per configuration over the client ladder "
+            "(deterministic, host-independent); wall_s is the interleaved "
+            "min over repeats. batch=1 is the in-run unbatched baseline."
+        ),
+        "points": points,
+        "baseline_peak_tps": baseline_peak,
+        "best": best,
+        "speedup_vs_unbatched": speedup,
+    }
+
+
 def run(quick: bool = False, jobs: int = 1, repeats: int = 1) -> dict:
     """Execute both benchmarks and assemble the report dictionary."""
     kernel = kernel_benchmark(events=50_000 if quick else 200_000)
@@ -153,8 +273,13 @@ def run(quick: bool = False, jobs: int = 1, repeats: int = 1) -> dict:
             clusters=(2, 3), clients=(8, 24), duration=0.06, warmup=0.012,
             jobs=jobs, repeats=repeats,
         )
+        batching = batching_benchmark(
+            clusters=(2,), batch_sizes=(1, 8), depths=(4,), clients=(8, 24),
+            duration=0.06, warmup=0.012, jobs=jobs, repeats=repeats,
+        )
     else:
         fig8 = fig8_benchmark(jobs=jobs, repeats=repeats)
+        batching = batching_benchmark(jobs=jobs, repeats=repeats)
     comparable = not quick
     baseline_fig8 = BASELINE["fig8"]
     report = {
@@ -166,6 +291,7 @@ def run(quick: bool = False, jobs: int = 1, repeats: int = 1) -> dict:
         "quick": quick,
         "kernel": kernel,
         "fig8": fig8,
+        "batching": batching,
         "baseline": BASELINE,
         "speedup": {
             "comparable_to_baseline": comparable,
@@ -216,6 +342,15 @@ def main(argv: list[str] | None = None) -> int:
           f"({speedup['kernel_events_per_second']}x baseline)")
     print(f"fig8 sweep : {report['fig8']['total_wall_s']}s wall, "
           f"{report['fig8']['total_cpu_s']}s cpu")
+    batching = report["batching"]
+    for label in sorted(batching["speedup_vs_unbatched"], key=int):
+        winner = batching["best"][label]
+        print(
+            f"batching   : {batching['speedup_vs_unbatched'][label]}x peak tps "
+            f"vs batch=1 at {label} clusters "
+            f"(batch {winner['batch_size']}, depth {winner['pipeline_depth']}, "
+            f"{winner['peak_tps']:,.0f} tps)"
+        )
     if speedup["comparable_to_baseline"]:
         print(f"speedup    : {speedup['fig8_wall']}x wall, {speedup['fig8_cpu']}x cpu "
               "vs pre-refactor baseline")

@@ -90,10 +90,17 @@ class ProtocolTuning:
     conflict_retry_delay: float = 50e-3
     #: maximum number of retries before a cross-shard tx is aborted.
     max_conflict_retries: int = 20
-    #: number of consensus instances a primary may keep in flight.
+    #: maximum batched consensus instances a primary keeps in flight
+    #: before further requests queue at the batcher.  Enforced only when
+    #: batching is armed (``batch_size > 1``); with batching off,
+    #: proposals are never queued — the pre-batching behaviour, where a
+    #: primary proposes every request the moment it arrives.
     pipeline_depth: int = 32
-    #: number of transactions per block (the paper argues for 1).
-    block_size: int = 1
+    #: client requests ordered per consensus slot (one signature, one
+    #: quorum entry, one block per batch).  ``1`` — the default, and
+    #: what the paper argues for — disables the batching pipeline
+    #: entirely and is bit-identical to the unbatched seeds.
+    batch_size: int = 1
     #: whether the super-primary optimisation (Section 3.2) is enabled.
     use_super_primary: bool = True
     #: decided-slot interval between checkpoints (0 disables

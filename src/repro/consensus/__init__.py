@@ -1,10 +1,12 @@
 """Intra-shard consensus engines (Paxos, PBFT), ordering log, messages."""
 
 from .base import ConsensusEngine, ConsensusHost, QuorumTracker
+from .batching import BatchPipeline, member_requests
 from .log import EntryStatus, LogEntry, Noop, OrderingLog, item_digest
 from .messages import (
     ClientReply,
     ClientRequest,
+    RequestBatch,
     CrossAccept,
     CrossAcceptB,
     CrossCommit,
@@ -26,6 +28,7 @@ from .pbft import PBFTEngine
 from .view_change import ViewChangeManager
 
 __all__ = [
+    "BatchPipeline",
     "ClientReply",
     "ClientRequest",
     "ConsensusEngine",
@@ -51,7 +54,9 @@ __all__ = [
     "Prepare",
     "PrePrepare",
     "QuorumTracker",
+    "RequestBatch",
     "ViewChange",
     "ViewChangeManager",
     "item_digest",
+    "member_requests",
 ]

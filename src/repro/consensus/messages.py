@@ -40,6 +40,7 @@ from ..txn.transaction import Transaction
 
 __all__ = [
     "ClientRequest",
+    "RequestBatch",
     "ClientReply",
     "PaxosAccept",
     "PaxosAccepted",
@@ -95,6 +96,59 @@ class ClientRequest:
                     f"|{self.timestamp!r}|{self.reply_to}"
                 ).encode()
             ).hexdigest()
+            object.__setattr__(self, "_item_digest", cached)
+        return cached
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """An ordered batch of client requests proposed as one consensus item.
+
+    Built only by the primary-side batching pipeline
+    (:class:`~repro.consensus.batching.BatchPipeline`, armed when
+    ``ProtocolTuning.batch_size > 1``).  One batch costs one signature,
+    one quorum-tracking entry, and one apply-loop dispatch regardless of
+    how many member requests it carries; the member requests keep their
+    individual per-transaction semantics (guard screening, replies, and
+    at-most-once execution are all per member).
+
+    Like :class:`ClientRequest` — the other message type ordered as a
+    log item — the class keeps its ``__dict__`` so
+    :func:`repro.consensus.log.item_digest` can memoise the batch digest
+    on the instance; the digest chains the members' (themselves
+    memoised) request digests, so digesting a batch never
+    re-canonicalises a transaction body.
+    """
+
+    requests: tuple[ClientRequest, ...]
+
+    #: the batch rides inside one pre-prepare/accept: one signature per
+    #: batch, which is precisely the amortisation batching buys.
+    verify_signatures: ClassVar[int] = 1
+    sign_signatures: ClassVar[int] = 0
+
+    @property
+    def transaction(self) -> Transaction:
+        """Representative transaction used for routing decisions.
+
+        Members of a batch are grouped by involved-cluster set before
+        batching (the pipeline keeps one queue per set), so the first
+        member answers "which clusters does this item touch" and "which
+        cluster initiates it" for the whole batch.  Per-transaction
+        logic (execution, replies, dedup) must iterate ``requests``
+        instead of using this.
+        """
+        return self.requests[0].transaction
+
+    def payload_digest(self) -> str:
+        """Digest of the batch, memoised on the (immutable) instance."""
+        cached = self.__dict__.get("_item_digest")
+        if cached is None:
+            hasher = hashlib.sha256(b"RB")
+            for request in self.requests:
+                hasher.update(b"|")
+                hasher.update(request.payload_digest().encode())
+            cached = hasher.hexdigest()
             object.__setattr__(self, "_item_digest", cached)
         return cached
 

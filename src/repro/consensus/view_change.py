@@ -282,6 +282,12 @@ class ViewChangeManager:
         for stale in [reported for reported in self._reports if reported <= view]:
             del self._reports[stale]
         self.engine.on_view_installed(view)
+        # Hosts may carry view-scoped state of their own (the batching
+        # pipeline's in-flight window and queues); give them the same
+        # installation signal the engine gets.
+        notify = getattr(self.engine.host, "on_intra_view_installed", None)
+        if notify is not None:
+            notify(view)
 
     def _install_as_primary(self, view: int) -> None:
         """Become the primary of ``view``: announce it and resolve open slots.

@@ -21,6 +21,14 @@ the paper are unchanged.  Non-overlapping cross-shard transactions
 therefore proceed fully in parallel, and transactions that share clusters
 are serialised per cluster by the (single) slot assigner — the role the
 super-primary plays in the paper.
+
+With batching armed (``ProtocolTuning.batch_size > 1``) the ordered item
+may be a :class:`~repro.consensus.messages.RequestBatch` instead of a
+bare request: one propose/accept/commit exchange, one position vector,
+and one signature then order many client transactions at once.  The
+engines stay item-agnostic — only the duplicate checks and the
+Byzantine-client screen iterate batch members (see
+:mod:`repro.consensus.batching`).
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from typing import TYPE_CHECKING
 from ..common.errors import ConsensusError
 from ..common.types import ClusterId, NodeId
 from ..consensus.base import HandlerTable
+from ..consensus.batching import members_all_committed, screen_members
 from ..consensus.log import Noop, item_digest
 from ..consensus.messages import (
     ClientRequest,
@@ -183,25 +192,27 @@ class CrashCrossShardEngine(HandlerTable):
     # ------------------------------------------------------------------
     # message handling (table-driven; see HandlerTable.handle)
     # ------------------------------------------------------------------
-    def _committed_before_checkpoint(self, request: ClientRequest) -> int | None:
-        """Chain position of an already-committed transaction, if any.
+    def _committed_before_checkpoint(self, request) -> int | None:
+        """Chain position of an already-committed item, if any.
 
         The log's digest index is truncated below the low-water mark, so
         a (very) stale duplicate of a checkpointed transaction must be
         caught through the ledger's retained transaction index instead —
-        re-running the instance would double-commit it.
+        re-running the instance would double-commit it.  A batch counts
+        as committed only when *every* member did (a partially settled
+        batch must stay orderable; apply-time skips handle the rest),
+        and answers with the representative member's position.
         """
         chain = getattr(self.host, "chain", None)
         if chain is None:
             return None
-        tx_id = request.transaction.tx_id
-        if not chain.contains_tx(tx_id):
+        if not members_all_committed(chain, request):
             return None
-        return chain.position_of_tx(tx_id)
+        return chain.position_of_tx(request.transaction.tx_id)
 
     def _on_propose(self, message: CrossPropose, src: int) -> None:
         guard = self.host.request_guard
-        if guard is not None and guard.screen(message.request) != ADMIT:
+        if guard is not None and screen_members(guard, message.request) != ADMIT:
             # Byzantine-client defence at every involved cluster: a
             # forged/replayed/ownership-violating request must not
             # gather accept votes anywhere — not even at clusters that
@@ -392,7 +403,7 @@ class ByzantineCrossShardEngine(HandlerTable):
         if self.host.log.decided_slot_of(digest) is not None:
             return
         chain = getattr(self.host, "chain", None)
-        if chain is not None and chain.contains_tx(request.transaction.tx_id):
+        if chain is not None and members_all_committed(chain, request):
             # Committed below the checkpoint low-water mark; the digest
             # index no longer knows it, but the ledger index does.
             return
@@ -466,11 +477,11 @@ class ByzantineCrossShardEngine(HandlerTable):
             # Only the initiator cluster's primary may propose.
             return
         guard = self.host.request_guard
-        if guard is not None and guard.screen(message.request) != ADMIT:
+        if guard is not None and screen_members(guard, message.request) != ADMIT:
             # Same Byzantine-client screen the crash engine applies: no
             # correct node of any involved cluster accepts a forged,
-            # replayed, or ownership-violating request, so the quorum
-            # can never form.
+            # replayed, or ownership-violating request (nor a batch
+            # carrying one), so the quorum can never form.
             return
         state = self._state(message.digest)
         state.request = message.request
@@ -481,7 +492,7 @@ class ByzantineCrossShardEngine(HandlerTable):
         if self.host.log.decided_slot_of(message.digest) is not None:
             return
         chain = getattr(self.host, "chain", None)
-        if chain is not None and chain.contains_tx(message.request.transaction.tx_id):
+        if chain is not None and members_all_committed(chain, message.request):
             # Committed below the checkpoint low-water mark already.
             return
         my_cluster = self.host.cluster_id

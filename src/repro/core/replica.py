@@ -22,8 +22,14 @@ from typing import Callable, Iterable
 
 from ..common.config import ClusterConfig, SystemConfig
 from ..common.types import AccountId, ClientId, ClusterId, FaultModel, NodeId
+from ..consensus.batching import BatchPipeline, member_requests
 from ..consensus.log import Noop, OrderingLog, item_digest
-from ..consensus.messages import ClientReply, ClientRequest, NewViewAnnouncement
+from ..consensus.messages import (
+    ClientReply,
+    ClientRequest,
+    NewViewAnnouncement,
+    RequestBatch,
+)
 from ..consensus.paxos import PaxosEngine
 from ..consensus.pbft import PBFTEngine
 from ..consensus.view_change import verify_new_view_certificate
@@ -101,6 +107,13 @@ class SharPerReplica(Process):
         #: Byzantine-client defence, armed lazily (None on the faultless
         #: fast path — one ``is None`` check per client request).
         self.request_guard: RequestGuard | None = None
+        # Batching pipeline, armed only when batch_size > 1: at the
+        # default of 1 every request takes the pre-batching code path
+        # bit for bit (and the in-flight window is not enforced — the
+        # legacy behaviour is an unbounded pipeline of singleton slots).
+        self.batcher: BatchPipeline | None = (
+            BatchPipeline(self) if self.tuning.batch_size > 1 else None
+        )
         # Remote-primary table: who currently speaks for each other
         # cluster.  Pre-resolved to plain pids (replacing a linear config
         # scan per lookup) and updated only through certificate-verified
@@ -170,7 +183,10 @@ class SharPerReplica(Process):
         out of intra-shard re-proposals (see
         :meth:`~repro.consensus.view_change.ViewChangeManager._install_as_primary`).
         """
-        if isinstance(item, ClientRequest):
+        if isinstance(item, (ClientRequest, RequestBatch)):
+            # Batch members share one involved-cluster set by
+            # construction, so the representative transaction answers
+            # for the whole batch.
             return len(self.involved_clusters_of(item.transaction)) > 1
         return False
 
@@ -282,6 +298,12 @@ class SharPerReplica(Process):
             # twice.  Once the first slot applies, the duplicate check
             # in _on_client_request answers the client's next retry.
             return
+        if self.batcher is not None:
+            # Batching armed: the pipeline dedups retries riding queued
+            # or in-flight batches, accumulates, and proposes within the
+            # in-flight window.
+            self.batcher.submit_intra(request)
+            return
         self.intra.submit(request)
 
     def _handle_cross_request(
@@ -299,6 +321,9 @@ class SharPerReplica(Process):
         if not self.is_cluster_primary:
             self._monitor_forwarded_request(request)
             self._forward(request, self.primary_pid_of(self.cluster_id))
+            return
+        if self.batcher is not None:
+            self.batcher.submit_cross(request, involved)
             return
         self.cross.start(request)
 
@@ -418,6 +443,13 @@ class SharPerReplica(Process):
         parents = {self.cluster_id: self.chain.head_hash}
         proposer = entry.proposer if entry.proposer is not None else self.cluster_id
         item = entry.item
+        if self.batcher is not None:
+            # Free the batcher's in-flight window entry for this slot
+            # (a no-op on every replica but the proposing primary).
+            self.batcher.item_applied(entry.digest)
+        if isinstance(item, RequestBatch):
+            self._apply_batch(item, positions, proposer, parents)
+            return
         if isinstance(item, ClientRequest):
             transaction = item.transaction
             guard = self.request_guard
@@ -495,6 +527,89 @@ class SharPerReplica(Process):
         object.__setattr__(transaction, "_block_memo", (key, block))
         return block
 
+    def _apply_batch(self, batch: RequestBatch, positions, proposer, parents) -> None:
+        """Apply one batched slot: per-member semantics, one block.
+
+        This is where batching amortises the apply loop: one dispatch,
+        one fused CPU charge, one ledger append for the whole batch —
+        while every member keeps its individual transaction semantics
+        (at-most-once execution, guard bookkeeping, its own client
+        reply).  Members already committed elsewhere — a retry that beat
+        this batch through a view-change hand-off — are skipped, exactly
+        like the singleton duplicate-apply backstop; a batch whose
+        members were *all* settled elsewhere degenerates to a no-op
+        block, so the chain stays contiguous and fork-free.
+        """
+        guard = self.request_guard
+        chain = self.chain
+        cross = len(positions) > 1
+        executed: list[tuple[ClientRequest, bool]] = []
+        for request in batch.requests:
+            transaction = request.transaction
+            if guard is not None:
+                if guard.is_duplicate_apply(transaction.tx_id):
+                    continue
+            elif chain.contains_tx(transaction.tx_id):
+                continue
+            if len(positions) == 1 and len(transaction.involved_shards(self.mapper)) > 1:
+                # Cross-shard atomicity backstop, per member (see
+                # _apply): never half-execute a cross-shard transaction
+                # that lost its position vector.
+                if guard is not None:
+                    guard.abandoned(transaction.tx_id)
+                continue
+            result = self.executor.execute(transaction)
+            if not result.success:
+                self.failed_executions += 1
+            executed.append((request, result.success))
+            if guard is not None:
+                guard.committed(request)
+        # One fused charge: a single append plus one execution per
+        # member actually executed (skipped members cost nothing).
+        self.charge(
+            self.cost_model.append_cost
+            + self.cost_model.execution_cost * len(executed)
+        )
+        if not executed:
+            chain.append(Block.noop(positions, proposer=proposer, parents=parents))
+            return
+        block = self._block_for_batch(
+            batch, tuple(request.transaction for request, _ in executed),
+            positions, proposer, parents,
+        )
+        chain.append(block)
+        self.committed_count += len(executed)
+        if cross:
+            self.committed_cross_count += len(executed)
+        if self._should_reply(proposer):
+            for request, success in executed:
+                self._send_reply(request, success=success, cross_shard=cross)
+
+    def _block_for_batch(
+        self, batch: RequestBatch, transactions, positions, proposer, parents
+    ) -> Block:
+        """Batch variant of :meth:`_block_for`, memoised on the batch payload.
+
+        The executed-member tuple joins the memo key: replicas of one
+        cluster always skip the same members (the ledger index is
+        cluster-consistent), but the clusters of a cross-shard batch may
+        legitimately differ, and they already differ in ``parents``.
+        """
+        key = (
+            tuple(positions.items())
+            if len(positions) == 1
+            else tuple(sorted(positions.items())),
+            proposer,
+            tuple(parents.items()),
+            tuple(tx.tx_id for tx in transactions),
+        )
+        memo = batch.__dict__.get("_block_memo")
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        block = Block.create_batch(transactions, positions, proposer=proposer, parents=parents)
+        object.__setattr__(batch, "_block_memo", (key, block))
+        return block
+
     def on_marker_applied(self, entry, positions, parents, proposer) -> None:
         """Hook for subclasses that order protocol markers (e.g. AHL's 2PC).
 
@@ -561,16 +676,37 @@ class SharPerReplica(Process):
         )
         self.send(request.reply_to, reply)
 
-    def on_cross_shard_abort(self, request: ClientRequest) -> None:
-        """Notify the client that a cross-shard transaction was given up on."""
-        if request.reply_to < 0:
-            return
-        reply = ClientReply(
-            tx_id=request.transaction.tx_id,
-            node=self.node_id,
-            cluster=self.cluster_id,
-            view=self.intra.view,
-            success=False,
-            cross_shard=True,
-        )
-        self.send(request.reply_to, reply)
+    def on_cross_shard_abort(self, item: object) -> None:
+        """Notify the client(s) that a cross-shard item was given up on.
+
+        ``item`` is whatever the cross-shard engine ordered — a bare
+        request, or a :class:`RequestBatch` whose members each get their
+        own failure reply (and are released from the batcher's dedup
+        index so client retries can re-enter the pipeline).
+        """
+        for request in member_requests(item):
+            if request.reply_to < 0:
+                continue
+            reply = ClientReply(
+                tx_id=request.transaction.tx_id,
+                node=self.node_id,
+                cluster=self.cluster_id,
+                view=self.intra.view,
+                success=False,
+                cross_shard=True,
+            )
+            self.send(request.reply_to, reply)
+        if self.batcher is not None:
+            self.batcher.item_applied(item_digest(item))
+
+    def on_intra_view_installed(self, view: int) -> None:
+        """Hook called by the view-change manager on every view install.
+
+        Resets the batching pipeline's window: in-flight batches were
+        carried by the view change itself (they are ordinary log items),
+        so only the replica-local accounting needs resetting — queued
+        requests are re-pumped (new primary) or forwarded (everyone
+        else).  See :meth:`repro.consensus.batching.BatchPipeline.on_view_installed`.
+        """
+        if self.batcher is not None:
+            self.batcher.on_view_installed()

@@ -268,3 +268,53 @@ class TestFaultlessPathUnchanged:
         result = scenario.run()
         assert result.safety is not None
         assert result.safety.ok
+
+
+class TestCheckpointSuppression:
+    def test_gc_stall_is_bounded_by_quorum_stability(self):
+        """A checkpoint-suppressing primary cannot starve garbage collection.
+
+        Checkpoint stability needs an intra-quorum of matching digests;
+        with one suppressor in a 4-node Byzantine cluster the remaining
+        2f + 1 correct replicas still form it, and the suppressor itself
+        keeps garbage-collecting too — it still *receives* its peers'
+        checkpoints and counts its own unsent vote.  The observable
+        stall bound: every replica's log, the attacked cluster included,
+        truncates below a stable mark despite the dropped messages.
+        """
+        from repro.adversary import CheckpointSuppressor
+
+        behavior = CheckpointSuppressor()
+        scenario = Scenario(
+            deployment=DeploymentSpec(
+                system="sharper",
+                fault_model=FaultModel.BYZANTINE,
+                num_clusters=2,
+                checkpoint_interval=16,
+            ),
+            workload=WorkloadConfig(cross_shard_fraction=0.2, accounts_per_shard=64),
+            clients=8,
+            duration=0.8,
+            seed=1,
+            faults=FaultSchedule().make_primary_byzantine(
+                at=0.05, cluster=0, behavior=behavior
+            ),
+        )
+        result = scenario.run()
+        # The attack actually fired (arming copies the instance so runs
+        # never share adversary RNG state — read the attached copy).
+        attached = result.system.replicas[0].interceptor
+        assert attached.suppressed_checkpoints > 0
+        # ...yet the run stays safe and garbage collection proceeds.
+        assert result.safety is not None
+        assert result.ok, (
+            (result.audit.problems if result.audit else [])
+            + result.safety.problems
+        )
+        assert result.recovery is not None
+        assert result.recovery.checkpoints_stable > 0
+        assert result.recovery.entries_truncated > 0
+        # Quorum stability is cluster-local: even the suppressor's own
+        # cluster (and the suppressor itself) truncated its log.
+        for replica in result.system.replicas_of(ClusterId(0)):
+            assert replica.log.low_water_mark > 0

@@ -189,3 +189,68 @@ class TestEquivocatingPrimary:
         behavior = EquivocatingPrimary()
         behavior.attach(FakeReplica(pid=0))
         assert behavior.outbound(1, Prepare(view=0, slot=1, digest="d", node=0)) is None
+
+
+class TestAdaptiveMuting:
+    """mute-during-view-change: silent exactly while an election runs."""
+
+    class FakeManager:
+        def __init__(self):
+            self.in_view_change = False
+
+    def _attached(self):
+        from repro.adversary import MuteDuringViewChange
+
+        behavior = MuteDuringViewChange()
+        replica = FakeReplica(pid=1)
+        replica.intra = type("FakeEngine", (), {})()
+        replica.intra.view_change = self.FakeManager()
+        behavior.attach(replica)
+        return behavior, replica.intra.view_change
+
+    def test_steady_state_traffic_passes(self):
+        behavior, _ = self._attached()
+        assert behavior.outbound(2, Prepare(view=0, slot=1, digest="d", node=1)) is None
+        assert behavior.muted_messages == 0
+
+    def test_everything_drops_during_a_view_change(self):
+        behavior, manager = self._attached()
+        manager.in_view_change = True
+        assert behavior.outbound(2, "view-change-vote") == ()
+        assert behavior.outbound(3, Prepare(view=0, slot=1, digest="d", node=1)) == ()
+        assert behavior.muted_messages == 2
+
+    def test_voice_returns_once_the_view_installs(self):
+        behavior, manager = self._attached()
+        manager.in_view_change = True
+        assert behavior.outbound(2, "vote") == ()
+        manager.in_view_change = False  # _enter_view clears the flag
+        assert behavior.outbound(2, "new-view-traffic") is None
+        assert behavior.muted_messages == 1
+
+    def test_registered_with_alias(self):
+        from repro.adversary import MuteDuringViewChange
+
+        assert get_behavior("mute-during-view-change") is MuteDuringViewChange
+        assert get_behavior("vc-mute") is MuteDuringViewChange
+        assert "mute-during-view-change" in available_behaviors()
+
+
+class TestCheckpointSuppressor:
+    def test_drops_checkpoints_only(self):
+        from repro.adversary import CheckpointSuppressor
+        from repro.recovery.messages import Checkpoint
+
+        behavior = CheckpointSuppressor()
+        behavior.attach(FakeReplica(pid=0))
+        checkpoint = Checkpoint(seq=16, digest="d", node=0)
+        assert behavior.outbound(1, checkpoint) == ()
+        assert behavior.outbound(1, Prepare(view=0, slot=1, digest="d", node=0)) is None
+        assert behavior.suppressed_checkpoints == 1
+
+    def test_registered_with_alias(self):
+        from repro.adversary import CheckpointSuppressor
+
+        assert get_behavior("checkpoint-suppressor") is CheckpointSuppressor
+        assert get_behavior("gc-staller") is CheckpointSuppressor
+        assert "checkpoint-suppressor" in available_behaviors()

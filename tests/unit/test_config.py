@@ -105,4 +105,8 @@ class TestPerformanceModel:
     def test_tuning_defaults(self):
         tuning = ProtocolTuning()
         assert tuning.use_super_primary is True
-        assert tuning.block_size == 1
+        # batch_size 1 keeps the batching pipeline disarmed (the paper's
+        # one-transaction-per-block default); pipeline_depth only binds
+        # once batching is armed.
+        assert tuning.batch_size == 1
+        assert tuning.pipeline_depth == 32
