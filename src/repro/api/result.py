@@ -18,6 +18,7 @@ from ..common.errors import ValidationError
 from ..common.metrics import RunStats
 from ..common.types import ClusterId
 from ..ledger.validation import AuditReport
+from ..obs import TraceReport
 from ..recovery.stats import RecoveryStats
 from ..storage.stats import StorageStats
 
@@ -62,6 +63,9 @@ class ScenarioResult:
     #: storage footprint gauges (store backend, resident accounts and
     #: blocks, archive growth).
     storage: StorageStats | None = None
+    #: flight-recorder report (phase breakdown, spans, gauges); ``None``
+    #: unless the scenario armed tracing via ``DeploymentSpec(trace=…)``.
+    trace: TraceReport | None = None
 
     # ------------------------------------------------------------------
     # detachment (multiprocessing support)
@@ -136,6 +140,8 @@ class ScenarioResult:
             row.update(self.storage.as_dict())
         for cluster_id in sorted(self.chain_heights):
             row[f"height_p{int(cluster_id)}"] = self.chain_heights[cluster_id]
+        if self.trace is not None:
+            row.update(self.trace.as_dict())
         return row
 
     def summary(self) -> str:
@@ -169,4 +175,6 @@ class ScenarioResult:
             lines.append(f"recovery   : {self.recovery.summary()}")
         if self.storage is not None:
             lines.append(f"storage    : {self.storage.summary()}")
+        if self.trace is not None:
+            lines.append(f"trace      : {self.trace.summary()}")
         return "\n".join(lines)

@@ -35,6 +35,7 @@ from ..common.config import PerformanceModel, ProtocolTuning, StorageSpec, Syste
 from ..common.errors import ConfigurationError
 from ..common.metrics import MetricsCollector
 from ..common.types import FaultModel
+from ..obs import FlightRecorder, TraceSpec, normalize_trace
 from ..recovery.stats import collect_recovery_stats
 from ..storage.stats import collect_storage_stats
 from ..txn.workload import WorkloadConfig
@@ -83,6 +84,12 @@ class DeploymentSpec:
     #: sqlite database path checkpoint GC spills pruned blocks into
     #: (":memory:" accepted); None drops pruned history as before.
     archive: str | None = None
+    #: flight-recorder arming (:mod:`repro.obs`): ``None``/``False`` runs
+    #: untraced (bit-identical to the seeds — every hook is a single
+    #: ``is None`` check), ``True`` arms the default :class:`TraceSpec`,
+    #: and an explicit :class:`TraceSpec` tunes gauges and their
+    #: sampling interval.
+    trace: "TraceSpec | bool | None" = None
     #: explicit topology override; when set, the fields above describing
     #: the homogeneous layout are ignored (except ``store_backend`` /
     #: ``archive``, which still apply when non-default).
@@ -207,6 +214,12 @@ class Scenario:
         system = self.build_system()
         metrics = MetricsCollector(warmup=self.warmup, measure_until=self.duration)
         group = system.spawn_clients(self.clients, metrics, retry_timeout=self.retry_timeout)
+        trace_spec = normalize_trace(self.deployment.trace)
+        recorder = None
+        if trace_spec is not None:
+            recorder = FlightRecorder(trace_spec)
+            system.arm_recorder(recorder)
+            recorder.start_gauges(system)
         system.start_clients(group)
         self.faults.arm(system)
         end = system.sim.run(until=self.duration)
@@ -240,6 +253,9 @@ class Scenario:
         heights = {
             cluster_id: view.height for cluster_id, view in system.views().items()
         }
+        trace_report = None
+        if recorder is not None:
+            trace_report = recorder.finalize(system, system.sim.now)
         return ScenarioResult(
             scenario=self,
             system=system,
@@ -253,6 +269,7 @@ class Scenario:
             safety=safety,
             recovery=recovery,
             storage=storage,
+            trace=trace_report,
         )
 
 

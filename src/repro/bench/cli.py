@@ -22,6 +22,7 @@ optionally crashing a primary or turning it Byzantine mid-run::
     sharper-bench --scenario ahl --byzantine --crash-primary-at 0.1
     sharper-bench --scenario sharper --byzantine --attack equivocating-primary
     sharper-bench --scenario sharper --batch-size 16 --pipeline-depth 4
+    sharper-bench --scenario sharper --trace --trace-out trace.json
     sharper-bench --list-attacks
 """
 
@@ -174,6 +175,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario: after the run, re-verify the archive offline "
         "(hash-chain continuity + balance conservation replay)",
     )
+
+    obs = parser.add_argument_group("observability (repro.obs)")
+    obs.add_argument(
+        "--trace", action="store_true",
+        help="scenario: arm the flight recorder (protocol-phase spans, "
+        "live gauges) and print the phase-latency breakdown after the run",
+    )
+    obs.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="scenario: write the trace to PATH — Chrome trace-event JSON "
+        "(load in Perfetto / chrome://tracing), or a JSONL event dump "
+        "when PATH ends in .jsonl (implies --trace)",
+    )
+    obs.add_argument(
+        "--gauge-interval", type=float, default=0.01, metavar="S",
+        help="scenario: gauge sampling period in simulated seconds "
+        "(default 0.01; 0 disables the sampling timer, leaving a "
+        "spans-only trace)",
+    )
     return parser
 
 
@@ -214,6 +234,14 @@ def _run_scenario(args: argparse.Namespace) -> int:
     if args.audit_archive and not args.archive:
         print("sharper-bench: error: --audit-archive requires --archive", file=sys.stderr)
         return 2
+    traced = args.trace or args.trace_out is not None
+    trace_spec = None
+    if traced:
+        from ..obs import TraceSpec
+
+        trace_spec = TraceSpec(
+            gauges=args.gauge_interval > 0, gauge_interval=args.gauge_interval
+        )
     try:
         scenario = Scenario(
             deployment=DeploymentSpec(
@@ -225,6 +253,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 pipeline_depth=args.pipeline_depth if args.pipeline_depth != 32 else None,
                 store_backend=args.store_backend,
                 archive=args.archive,
+                trace=trace_spec,
             ),
             workload=WorkloadConfig(cross_shard_fraction=args.cross_shard),
             clients=args.clients,
@@ -238,6 +267,14 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(f"sharper-bench: error: {error}", file=sys.stderr)
         return 2
     print(result.summary())
+    if result.trace is not None:
+        print()
+        print(result.trace.phase_table())
+        if args.trace_out is not None:
+            from ..obs import write_trace
+
+            write_trace(result.trace, args.trace_out)
+            print(f"trace written to {args.trace_out}")
     ok = result.ok
     if args.audit_archive:
         from ..storage import audit_archive

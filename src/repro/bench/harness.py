@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..api import DeploymentSpec, FaultSchedule, Scenario, run_scenarios
 from ..common.config import PerformanceModel, ProtocolTuning
@@ -36,6 +36,9 @@ from ..common.metrics import RunStats
 from ..common.types import FaultModel
 from ..core.system import BaseSystem
 from ..txn.workload import WorkloadConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import TraceSpec
 
 __all__ = [
     "ExperimentSpec",
@@ -64,6 +67,10 @@ class ExperimentSpec:
     seed: int = 1
     performance: PerformanceModel = field(default_factory=PerformanceModel)
     tuning: ProtocolTuning = field(default_factory=ProtocolTuning)
+    #: arm the :mod:`repro.obs` flight recorder on every point; traced
+    #: sweeps gain additive ``phase_*`` columns in their reports while
+    #: untraced sweeps keep the exact legacy header.
+    trace: "TraceSpec | bool | None" = None
 
     def to_scenario(
         self,
@@ -80,6 +87,7 @@ class ExperimentSpec:
             f=self.f,
             performance=self.performance,
             tuning=self.tuning,
+            trace=self.trace,
         )
         workload = WorkloadConfig(
             cross_shard_fraction=self.cross_shard_fraction,
@@ -110,6 +118,10 @@ class CurvePoint:
 
     clients: int
     stats: RunStats
+    #: additive per-phase latency columns (``phase_<scope>_<name>_avg_ms``)
+    #: from the flight recorder; empty for untraced points, so legacy
+    #: reports keep their exact header.
+    phase_columns: dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -135,7 +147,13 @@ class Curve:
         return max(self.points, key=lambda point: point.throughput)
 
     def as_rows(self) -> list[dict[str, float]]:
-        """Rows suitable for CSV/text reporting."""
+        """Rows suitable for CSV/text reporting.
+
+        The five legacy columns always lead, in their historic order;
+        a traced point's ``phase_*`` breakdown columns are appended
+        after them (the CSV/text renderers union headers across rows,
+        so mixed traced/untraced figures stay well-formed).
+        """
         return [
             {
                 "system": self.label,
@@ -143,6 +161,7 @@ class Curve:
                 "throughput_tps": round(point.throughput, 1),
                 "avg_latency_ms": round(point.latency_ms, 2),
                 "p95_latency_ms": round(point.stats.p95_latency * 1e3, 2),
+                **point.phase_columns,
             }
             for point in self.points
         ]
@@ -189,10 +208,15 @@ def run_curve(
     per_point = len(seed_list)
     for index, clients in enumerate(client_counts):
         chunk = results[index * per_point : (index + 1) * per_point]
+        # Traced points carry the first seed's phase breakdown (the
+        # per-phase averages are stable across seeds; pooling percentile
+        # summaries would misstate them).
+        traced = next((result.trace for result in chunk if result.trace is not None), None)
         points.append(
             CurvePoint(
                 clients=clients,
                 stats=RunStats.aggregate([result.stats for result in chunk]),
+                phase_columns=traced.phase_columns() if traced is not None else {},
             )
         )
     return Curve(system=spec.system, label=label or spec.system, points=tuple(points))

@@ -18,12 +18,33 @@ from .experiments import FigureResult
 __all__ = ["format_table", "format_figure", "figure_to_csv", "write_csv"]
 
 
+def _union_headers(rows: "list[Mapping[str, object]]") -> list[str]:
+    """Column names across *all* rows, first-row order first.
+
+    Additive columns (a traced point's ``phase_*`` breakdown, a
+    recovering run's checkpoint counters) may appear only on later rows;
+    keying the header on ``rows[0]`` alone either drops them silently
+    (tables) or raises ``ValueError`` (``csv.DictWriter``).  Extra keys
+    are appended after the first row's columns in first-seen order, so
+    legacy consumers parsing the leading columns see an unchanged
+    prefix.
+    """
+    headers = list(rows[0].keys())
+    seen = set(headers)
+    for row in rows[1:]:
+        for key in row.keys():
+            if key not in seen:
+                seen.add(key)
+                headers.append(key)
+    return headers
+
+
 def format_table(rows: Iterable[Mapping[str, object]]) -> str:
     """Render a list of dict rows as an aligned plain-text table."""
     rows = list(rows)
     if not rows:
         return "(no data)"
-    headers = list(rows[0].keys())
+    headers = _union_headers(rows)
     widths = {header: len(header) for header in headers}
     for row in rows:
         for header in headers:
@@ -59,7 +80,7 @@ def figure_to_csv(result: FigureResult) -> str:
     if not rows:
         return ""
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer = csv.DictWriter(buffer, fieldnames=_union_headers(rows), restval="")
     writer.writeheader()
     writer.writerows(rows)
     return buffer.getvalue()

@@ -54,9 +54,24 @@ class RunStats:
     #: non-zero values flag the residual atomicity window the
     #: termination protocol (:mod:`repro.recovery`) exists to close.
     late_commits: int = 0
+    #: transactions *submitted* over the whole run (offered load); unlike
+    #: ``committed`` this is not windowed, so ``committed <= submitted``
+    #: even in steady state.  0 for legacy collectors that never counted.
+    submitted: int = 0
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted transactions as a fraction of the offered load."""
+        if self.submitted <= 0:
+            return 0.0
+        return self.aborted / self.submitted
 
     def as_dict(self) -> dict[str, float]:
-        """Dictionary form, convenient for CSV reporting."""
+        """Dictionary form, convenient for CSV reporting.
+
+        New columns are only ever appended at the end (the bench CSV
+        consumers key on the leading columns staying stable).
+        """
         return {
             "duration_s": self.duration,
             "committed": self.committed,
@@ -70,6 +85,8 @@ class RunStats:
             "avg_latency_cross_ms": self.avg_latency_cross * 1e3,
             "committed_cross": self.committed_cross,
             "late_commits": self.late_commits,
+            "submitted": self.submitted,
+            "abort_rate": round(self.abort_rate, 6),
         }
 
     @staticmethod
@@ -120,6 +137,7 @@ class RunStats:
             else 0.0,
             committed_cross=committed_cross,
             late_commits=sum(run.late_commits for run in runs),
+            submitted=sum(run.submitted for run in runs),
         )
 
 
@@ -213,4 +231,5 @@ class MetricsCollector:
             avg_latency_intra=statistics.fmean(intra) if intra else 0.0,
             avg_latency_cross=statistics.fmean(cross) if cross else 0.0,
             committed_cross=len(cross),
+            submitted=self.submitted,
         )

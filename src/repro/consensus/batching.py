@@ -189,6 +189,12 @@ class BatchPipeline:
         self.batched_requests += len(chunk)
         if len(chunk) > self.max_batch:
             self.max_batch = len(chunk)
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for request in chunk:
+                recorder.phase(now, request.transaction.tx_id, "seal", pid)
         return RequestBatch(requests=tuple(chunk))
 
     def _pump_intra(self) -> None:

@@ -16,6 +16,7 @@ hash-chained formulation produces.
 from __future__ import annotations
 
 from .base import ConsensusEngine, ConsensusHost, QuorumTracker
+from .batching import member_requests
 from .log import EntryStatus, item_digest
 from .messages import NewView, PaxosAccept, PaxosAccepted, PaxosCommit, ViewChange
 from .view_change import ViewChangeManager
@@ -60,6 +61,13 @@ class PaxosEngine(ConsensusEngine):
         # The primary's own vote counts toward the f + 1 majority.
         self._accepted.vote((self.view, slot, digest), self.host.node_id)
         self.view_change.monitor_slot(slot)
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            recorder.slot_open(now, pid, int(self.host.cluster.cluster_id), slot)
+            for request in member_requests(item):
+                recorder.phase(now, request.transaction.tx_id, "propose", pid)
 
     # ------------------------------------------------------------------
     # message handling (table-driven; see HandlerTable.handle)
@@ -81,6 +89,12 @@ class PaxosEngine(ConsensusEngine):
             # The slot already holds a different digest; do not vote.
             return
         self.view_change.monitor_slot(message.slot)
+        recorder = self.host.recorder
+        if recorder is not None:
+            recorder.slot_open(
+                self.host.now, int(self.host.node_id),
+                int(self.host.cluster.cluster_id), message.slot,
+            )
         reply = PaxosAccepted(
             view=message.view, slot=message.slot, digest=message.digest, node=self.host.node_id
         )
@@ -100,6 +114,12 @@ class PaxosEngine(ConsensusEngine):
             message.slot, message.digest, item,
             proposer=self.cluster_id, view=message.view,
         )
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for request in member_requests(item):
+                recorder.phase(now, request.transaction.tx_id, "decided", pid)
         self.view_change.slot_decided(message.slot)
         commit = PaxosCommit(
             view=message.view, slot=message.slot, digest=message.digest, item=item
@@ -114,6 +134,12 @@ class PaxosEngine(ConsensusEngine):
             message.slot, message.digest, message.item,
             proposer=self.cluster_id, view=message.view,
         )
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for request in member_requests(message.item):
+                recorder.phase(now, request.transaction.tx_id, "decided", pid)
         self.view_change.slot_decided(message.slot)
         self.host.after_decide()
 

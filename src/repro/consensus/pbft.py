@@ -18,6 +18,7 @@ with the Paxos engine (:class:`~repro.consensus.view_change.ViewChangeManager`).
 from __future__ import annotations
 
 from .base import ConsensusEngine, ConsensusHost, QuorumTracker
+from .batching import member_requests
 from .log import EntryStatus, item_digest
 from .messages import NewView, PBFTCommit, PrePrepare, Prepare, ViewChange
 from .view_change import ViewChangeManager
@@ -73,6 +74,13 @@ class PBFTEngine(ConsensusEngine):
             PrePrepare(view=self.view, slot=slot, digest=digest, item=item)
         )
         self.view_change.monitor_slot(slot)
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            recorder.slot_open(now, pid, int(self.host.cluster.cluster_id), slot)
+            for request in member_requests(item):
+                recorder.phase(now, request.transaction.tx_id, "propose", pid)
         # The primary's pre-prepare counts as its prepare vote.
         self._record_prepare_vote(key, self.host.node_id)
 
@@ -104,6 +112,12 @@ class PBFTEngine(ConsensusEngine):
         key = (message.view, message.slot, message.digest)
         self._items[key] = message.item
         self.view_change.monitor_slot(message.slot)
+        recorder = self.host.recorder
+        if recorder is not None:
+            recorder.slot_open(
+                self.host.now, int(self.host.node_id),
+                int(self.host.cluster.cluster_id), message.slot,
+            )
         prepare = Prepare(
             view=message.view, slot=message.slot, digest=message.digest, node=self.host.node_id
         )
@@ -124,6 +138,14 @@ class PBFTEngine(ConsensusEngine):
             return
         # Prepared: multicast commit and count our own commit vote.
         view, slot, digest = key
+        recorder = self.host.recorder
+        if recorder is not None:
+            item = self._items.get(key)
+            if item is not None:
+                now = self.host.now
+                pid = int(self.host.node_id)
+                for request in member_requests(item):
+                    recorder.phase(now, request.transaction.tx_id, "prepared", pid)
         commit = PBFTCommit(view=view, slot=slot, digest=digest, node=self.host.node_id)
         self.host.multicast_cluster(commit)
         self._record_commit_vote(key, self.host.node_id)
@@ -143,6 +165,12 @@ class PBFTEngine(ConsensusEngine):
                 return
             item = entry.item
         self.host.log.decide(slot, digest, item, proposer=self.cluster_id, view=view)
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for request in member_requests(item):
+                recorder.phase(now, request.transaction.tx_id, "decided", pid)
         self.view_change.slot_decided(slot)
         self.host.after_decide()
 

@@ -103,6 +103,9 @@ class _BaseClient(Process):
         )
         self._outstanding[transaction.tx_id] = state
         self.metrics.record_submission()
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.submit(self.sim.now, transaction.tx_id, self.pid, cross)
         self.send(target, request)
         self._schedule_resend(state, transaction.tx_id)
 
@@ -181,6 +184,9 @@ class _BaseClient(Process):
             committed_at=self.sim.now,
             cross_shard=state.cross_shard,
         )
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.phase(self.sim.now, message.tx_id, "reply", self.pid)
         self.on_request_complete()
 
     def on_request_complete(self) -> None:

@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 from ..common.errors import ConsensusError
 from ..common.types import ClusterId, NodeId
 from ..consensus.base import HandlerTable
-from ..consensus.batching import members_all_committed, screen_members
+from ..consensus.batching import member_requests, members_all_committed, screen_members
 from ..consensus.log import Noop, item_digest
 from ..consensus.messages import (
     ClientRequest,
@@ -145,6 +145,12 @@ class CrashCrossShardEngine(HandlerTable):
             state.votes[self.host.cluster_id] = {self.host.node_id}
             self._states[digest] = state
             self.initiated += 1
+            recorder = self.host.recorder
+            if recorder is not None:
+                now = self.host.now
+                pid = int(self.host.node_id)
+                for member in member_requests(request):
+                    recorder.phase(now, member.transaction.tx_id, "cross_start", pid)
         self._broadcast_propose(state)
         self._arm_retry_timer(state)
 
@@ -290,6 +296,12 @@ class CrashCrossShardEngine(HandlerTable):
         if state.timer is not None:
             state.timer.cancel()
         self.committed += 1
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for member in member_requests(state.request):
+                recorder.phase(now, member.transaction.tx_id, "cross_prepared", pid)
         positions = dict(state.slots)
         commit = CrossCommit(
             digest=state.digest,
@@ -312,6 +324,11 @@ class CrashCrossShardEngine(HandlerTable):
                 raise
             self.late_commits += 1
             return
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for member in member_requests(state.request):
+                recorder.phase(now, member.transaction.tx_id, "decided", pid)
         self.host.after_decide()
 
     def _on_commit(self, message: CrossCommit, src: int) -> None:
@@ -337,6 +354,12 @@ class CrashCrossShardEngine(HandlerTable):
                 raise
             self.late_commits += 1
             return
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for member in member_requests(message.request):
+                recorder.phase(now, member.transaction.tx_id, "decided", pid)
         self.host.after_decide()
 
     # ------------------------------------------------------------------
@@ -420,6 +443,12 @@ class ByzantineCrossShardEngine(HandlerTable):
             state.announced_slots[self.host.cluster_id] = slot
             self._try_record_pending(slot, digest, request)
             self.initiated += 1
+            recorder = self.host.recorder
+            if recorder is not None:
+                now = self.host.now
+                pid = int(self.host.node_id)
+                for member in member_requests(request):
+                    recorder.phase(now, member.transaction.tx_id, "cross_start", pid)
         propose = CrossProposeB(
             digest=digest,
             request=request,
@@ -560,6 +589,12 @@ class ByzantineCrossShardEngine(HandlerTable):
         if any(cluster not in state.confirmed_slots for cluster in state.involved):
             return
         state.commit_sent = True
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for member in member_requests(state.request):
+                recorder.phase(now, member.transaction.tx_id, "cross_prepared", pid)
         positions = {cluster: state.confirmed_slots[cluster] for cluster in state.involved}
         commit = CrossCommitB(
             digest=state.digest,
@@ -623,6 +658,12 @@ class ByzantineCrossShardEngine(HandlerTable):
                 raise
             self.late_commits += 1
             return
+        recorder = self.host.recorder
+        if recorder is not None:
+            now = self.host.now
+            pid = int(self.host.node_id)
+            for member in member_requests(state.request):
+                recorder.phase(now, member.transaction.tx_id, "decided", pid)
         self.host.after_decide()
 
     # ------------------------------------------------------------------

@@ -298,6 +298,11 @@ class SharPerReplica(Process):
             # twice.  Once the first slot applies, the duplicate check
             # in _on_client_request answers the client's next retry.
             return
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.phase(
+                self.sim.now, request.transaction.tx_id, "enqueue", self.pid
+            )
         if self.batcher is not None:
             # Batching armed: the pipeline dedups retries riding queued
             # or in-flight batches, accumulates, and proposes within the
@@ -322,6 +327,11 @@ class SharPerReplica(Process):
             self._monitor_forwarded_request(request)
             self._forward(request, self.primary_pid_of(self.cluster_id))
             return
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.phase(
+                self.sim.now, request.transaction.tx_id, "enqueue", self.pid
+            )
         if self.batcher is not None:
             self.batcher.submit_cross(request, involved)
             return
@@ -443,6 +453,9 @@ class SharPerReplica(Process):
         parents = {self.cluster_id: self.chain.head_hash}
         proposer = entry.proposer if entry.proposer is not None else self.cluster_id
         item = entry.item
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.slot_close(self.sim.now, self.pid, entry.slot)
         if self.batcher is not None:
             # Free the batcher's in-flight window entry for this slot
             # (a no-op on every replica but the proposing primary).
@@ -487,6 +500,8 @@ class SharPerReplica(Process):
             block = self._block_for(transaction, positions, proposer, parents)
             self.chain.append(block)
             self.committed_count += 1
+            if recorder is not None:
+                recorder.phase(self.sim.now, transaction.tx_id, "applied", self.pid)
             if guard is not None:
                 guard.committed(item)
             cross = len(positions) > 1
@@ -579,6 +594,11 @@ class SharPerReplica(Process):
         )
         chain.append(block)
         self.committed_count += len(executed)
+        recorder = self.recorder
+        if recorder is not None:
+            now = self.sim.now
+            for request, _success in executed:
+                recorder.phase(now, request.transaction.tx_id, "applied", self.pid)
         if cross:
             self.committed_cross_count += len(executed)
         if self._should_reply(proposer):

@@ -102,6 +102,9 @@ class BaseSystem:
         self.byzantine_clients: set[int] = set()
         #: coalitions formed during the run (shared cross-cluster scripts).
         self.coalitions: list[Coalition] = []
+        #: armed flight recorder (:mod:`repro.obs`); ``None`` when tracing
+        #: is off, which keeps every hook at a single ``is None`` check.
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # account bootstrap
@@ -191,6 +194,8 @@ class BaseSystem:
                 retry_timeout=retry_timeout,
                 fallback_targets=self.fallback_route,
             )
+            if self.recorder is not None:
+                client.recorder = self.recorder
             self.clients.append(client)
             clients.append(client)
         return clients
@@ -355,6 +360,23 @@ class BaseSystem:
             arm = getattr(process, "arm_request_guard", None)
             if arm is not None:
                 arm(owner_of=self.owner_of)
+
+    def arm_recorder(self, recorder) -> None:
+        """Arm the :mod:`repro.obs` flight recorder on the whole deployment.
+
+        Same lazy-arming contract as :meth:`arm_request_guards` and the
+        adversary interceptors: one attribute assignment per replica,
+        client, and the network fabric.  Untraced runs never call this,
+        so every instrumentation hook stays a single ``is None`` check
+        and results are bit-identical with tracing off.  Clients spawned
+        after arming inherit the recorder in :meth:`spawn_clients`.
+        """
+        self.recorder = recorder
+        self.network.recorder = recorder
+        for process in self.processes():
+            process.recorder = recorder
+        for client in self.clients:
+            client.recorder = recorder
 
     # ------------------------------------------------------------------
     # correctness checks

@@ -1,0 +1,43 @@
+"""Observability: the simulation-time flight recorder (``repro.obs``).
+
+The recorder is armed per-scenario through ``DeploymentSpec(trace=...)``
+and follows the same lazy-arming contract as the adversary interceptor
+and the ``RequestGuard``: every hook on the hot path is a single
+``recorder is None`` check, so untraced runs take the untouched code
+path and stay bit-identical to the pre-observability tree (asserted
+differentially in ``tests/integration/test_obs_scenarios.py``).
+
+Three pillars:
+
+* **request lifecycle spans** — every client request leaves timestamped
+  phase events (submit, primary enqueue, batch seal, propose, prepare
+  quorum, commit quorum, apply, reply — plus the cross-shard lane
+  variants), reduced to a per-phase latency breakdown
+  (:class:`~repro.obs.phases.PhaseStats`, intra vs cross) attached to
+  ``ScenarioResult.trace``;
+* **live gauges** — a rolling simulator timer samples per-replica
+  pipeline window occupancy, pending-queue depth, ordering-log size,
+  undecided cross-shard slots, network in-transit messages, and
+  per-message-type send counters as time series;
+* **exporters** — Chrome trace-event JSON (``chrome://tracing`` /
+  Perfetto; one track per replica, spans for slots and view changes)
+  and a JSONL event dump, summarised by ``python -m repro.obs.report``.
+"""
+
+from .phases import PhaseBreakdown, PhaseStats, attribute_phases, render_phase_table
+from .recorder import FlightRecorder, TraceReport, TraceSpec, normalize_trace
+from .export import write_chrome_trace, write_jsonl, write_trace
+
+__all__ = [
+    "FlightRecorder",
+    "PhaseBreakdown",
+    "PhaseStats",
+    "TraceReport",
+    "TraceSpec",
+    "attribute_phases",
+    "normalize_trace",
+    "render_phase_table",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,261 @@
+"""The flight recorder: lazily armed tracing with zero cost when off.
+
+Arming model (the same contract as the adversary interceptor and the
+``RequestGuard``): every ``Process``, client, and the ``Network`` carry
+a ``recorder`` attribute that is ``None`` by default, and every
+instrumentation hook is guarded by one ``recorder is None`` check —
+the untraced hot path is untouched and runs stay bit-identical to the
+pre-observability tree.  ``BaseSystem.arm_recorder`` sets the attribute
+everywhere in one sweep; ``Scenario.run`` arms it when
+``DeploymentSpec.trace`` is set.
+
+Recording is append-only on the hot path (tuples into flat lists, no
+allocation beyond the tuple); all reduction — phase attribution, span
+pairing, report assembly — happens once in :meth:`FlightRecorder.finalize`.
+Gauge sampling is the only part of the recorder that schedules
+simulator events (a repeating timer); it only *reads* replica and
+network state, so a gauge-sampled run produces identical protocol
+behaviour and its event count exceeds the untraced run by exactly
+``gauge_ticks``.  With ``gauge_interval=0`` (spans-only) even the event
+count is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .phases import PhaseBreakdown, attribute_phases, phase_columns, render_phase_table
+
+__all__ = ["TraceSpec", "FlightRecorder", "TraceReport", "normalize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """What to record when a scenario is traced.
+
+    ``gauge_interval`` is in simulated seconds; ``0`` (or
+    ``gauges=False``) disables the sampling timer entirely, leaving a
+    spans-only trace whose simulator event count matches the untraced
+    run bit for bit.
+    """
+
+    #: Sample live gauges on a rolling simulator timer.
+    gauges: bool = True
+    #: Gauge sampling period in simulated seconds (0 disables).
+    gauge_interval: float = 0.01
+
+
+def normalize_trace(trace: "TraceSpec | bool | None") -> TraceSpec | None:
+    """Coerce ``DeploymentSpec.trace`` to a spec (``True`` -> defaults)."""
+    if trace is None or trace is False:
+        return None
+    if trace is True:
+        return TraceSpec()
+    return trace
+
+
+class FlightRecorder:
+    """Collects phase events, spans, and gauges for one scenario run."""
+
+    def __init__(self, spec: TraceSpec | None = None) -> None:
+        self.spec = spec or TraceSpec()
+        #: ``(time, tx_id, phase, pid)`` in simulation-time order.
+        self.events: list[tuple[float, str, str, int]] = []
+        #: tx ids whose submit was cross-shard.
+        self.cross_txs: set[str] = set()
+        self._slot_open: dict[tuple[int, int], tuple[float, int]] = {}
+        #: Completed ``(pid, cluster, slot, t_open, t_close)`` slot spans.
+        self.slot_spans: list[tuple[int, int, int, float, float]] = []
+        self._vc_open: dict[int, tuple[float, int, int]] = {}
+        #: Completed ``(pid, cluster, view, t_open, t_close)`` view-change spans.
+        self.vc_spans: list[tuple[int, int, int, float, float]] = []
+        #: Cumulative outbound message count per message type name.
+        self.sent_by_type: dict[str, int] = {}
+        #: One sample dict per gauge tick.
+        self.gauge_samples: list[dict[str, Any]] = []
+        self.gauge_ticks = 0
+        self._system: Any = None
+        self._gauge_timer: Any = None
+
+    # -- hot-path hooks (every caller guards ``recorder is not None``) --
+
+    def phase(self, time: float, tx_id: str, phase: str, pid: int) -> None:
+        """Record one lifecycle milestone for ``tx_id``."""
+        self.events.append((time, tx_id, phase, pid))
+
+    def submit(self, time: float, tx_id: str, pid: int, cross: bool) -> None:
+        """Record a client submit (and classify the tx's lane)."""
+        if cross:
+            self.cross_txs.add(tx_id)
+        self.events.append((time, tx_id, "submit", pid))
+
+    def slot_open(self, time: float, pid: int, cluster: int, slot: int) -> None:
+        """Open a consensus-slot span (first open per replica wins)."""
+        key = (pid, slot)
+        if key not in self._slot_open:
+            self._slot_open[key] = (time, cluster)
+
+    def slot_close(self, time: float, pid: int, slot: int) -> None:
+        """Close a slot span at apply time (no-op if never opened here)."""
+        opened = self._slot_open.pop((pid, slot), None)
+        if opened is not None:
+            self.slot_spans.append((pid, opened[1], slot, opened[0], time))
+
+    def vc_open(self, time: float, pid: int, cluster: int, view: int) -> None:
+        """Open a view-change span when a replica starts suspecting."""
+        if pid not in self._vc_open:
+            self._vc_open[pid] = (time, cluster, view)
+
+    def vc_close(self, time: float, pid: int, view: int) -> None:
+        """Close the replica's open view-change span on view install."""
+        opened = self._vc_open.pop(pid, None)
+        if opened is not None:
+            self.vc_spans.append((pid, opened[1], view, opened[0], time))
+
+    def count_send(self, type_name: str, count: int) -> None:
+        """Bump the per-message-type outbound counter (Network hook)."""
+        counters = self.sent_by_type
+        counters[type_name] = counters.get(type_name, 0) + count
+
+    # -- gauges ---------------------------------------------------------
+
+    def start_gauges(self, system: Any) -> None:
+        """Arm the rolling sampling timer on the system's simulator."""
+        self._system = system
+        if self.spec.gauges and self.spec.gauge_interval > 0:
+            self._gauge_timer = system.sim.every(
+                self.spec.gauge_interval, self._sample_gauges
+            )
+
+    def _sample_gauges(self) -> None:
+        system = self._system
+        network = system.network
+        replicas: dict[int, dict[str, int]] = {}
+        for process in system.processes():
+            log = getattr(process, "log", None)
+            if log is None:
+                continue
+            batcher = getattr(process, "batcher", None)
+            if batcher is not None:
+                window = batcher._intra_in_flight + batcher._cross_in_flight
+                queue = len(batcher._intra_queue) + sum(
+                    len(lane) for lane in batcher._cross_queues.values()
+                )
+            else:
+                window = queue = 0
+            cross = getattr(process, "cross", None)
+            pending_cross = 0
+            if cross is not None:
+                pending_cross = sum(
+                    1
+                    for state in cross._states.values()
+                    if not getattr(state, "decided", False)
+                )
+            replicas[int(process.pid)] = {
+                "window": window,
+                "queue": queue,
+                "log": log.entry_count,
+                "cross_pending": pending_cross,
+            }
+        self.gauge_samples.append(
+            {
+                "t": system.sim.now,
+                "in_transit": network.messages_sent
+                - network.messages_delivered
+                - network.messages_dropped,
+                "sent_total": network.messages_sent,
+                "replicas": replicas,
+                "sent_by_type": dict(self.sent_by_type),
+            }
+        )
+        self.gauge_ticks += 1
+
+    # -- reduction ------------------------------------------------------
+
+    def finalize(self, system: Any, end_time: float) -> "TraceReport":
+        """Stop sampling and reduce everything into a picklable report."""
+        if self._gauge_timer is not None:
+            self._gauge_timer.cancel()
+            self._gauge_timer = None
+        pid_clusters: dict[int, int] = {}
+        for process in system.processes():
+            cluster = getattr(process, "cluster", None)
+            if cluster is not None:
+                pid_clusters[int(process.pid)] = int(cluster.cluster_id)
+        breakdown = attribute_phases(self.events, self.cross_txs)
+        return TraceReport(
+            events=tuple(self.events),
+            cross_txs=frozenset(self.cross_txs),
+            slot_spans=tuple(self.slot_spans),
+            open_slots=tuple(
+                (pid, cluster, slot, opened)
+                for (pid, slot), (opened, cluster) in sorted(self._slot_open.items())
+            ),
+            vc_spans=tuple(self.vc_spans),
+            open_vcs=tuple(
+                (pid, cluster, view, opened)
+                for pid, (opened, cluster, view) in sorted(self._vc_open.items())
+            ),
+            gauges=tuple(self.gauge_samples),
+            sent_by_type=dict(self.sent_by_type),
+            gauge_ticks=self.gauge_ticks,
+            gauge_interval=self.spec.gauge_interval if self.spec.gauges else 0.0,
+            breakdown=breakdown,
+            pid_clusters=pid_clusters,
+            end_time=end_time,
+        )
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """The reduced, picklable trace attached to ``ScenarioResult.trace``.
+
+    Holds only tuples, dicts, and frozen dataclasses so it survives
+    ``ScenarioResult.detach()`` and the pooled-runner process boundary
+    unchanged (serial-vs-pooled bit-identity is asserted with tracing
+    enabled).
+    """
+
+    events: tuple[tuple[float, str, str, int], ...]
+    cross_txs: frozenset[str]
+    slot_spans: tuple[tuple[int, int, int, float, float], ...]
+    open_slots: tuple[tuple[int, int, int, float], ...]
+    vc_spans: tuple[tuple[int, int, int, float, float], ...]
+    open_vcs: tuple[tuple[int, int, int, float], ...]
+    gauges: tuple[dict[str, Any], ...]
+    sent_by_type: dict[str, int]
+    gauge_ticks: int
+    gauge_interval: float
+    breakdown: PhaseBreakdown
+    pid_clusters: dict[int, int] = field(default_factory=dict)
+    end_time: float = 0.0
+
+    def summary(self) -> str:
+        """One status line for ``ScenarioResult.summary()``."""
+        return (
+            f"{len(self.events)} phase events over {self.breakdown.txs} txs, "
+            f"{len(self.slot_spans)} slot spans, "
+            f"{len(self.vc_spans)} view-change spans "
+            f"({len(self.open_vcs)} open), {self.gauge_ticks} gauge ticks, "
+            f"{self.breakdown.attributed_fraction:.1%} latency attributed"
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """Additive flat columns for ``ScenarioResult.as_dict()``."""
+        return {
+            "trace_events": len(self.events),
+            "trace_txs": self.breakdown.txs,
+            "trace_slot_spans": len(self.slot_spans),
+            "trace_vc_spans": len(self.vc_spans),
+            "trace_gauge_ticks": self.gauge_ticks,
+            "trace_attributed": round(self.breakdown.attributed_fraction, 6),
+        }
+
+    def phase_table(self) -> str:
+        """The per-phase latency breakdown as an aligned text table."""
+        return render_phase_table(self.breakdown)
+
+    def phase_columns(self) -> dict[str, float]:
+        """Additive per-phase CSV columns (see bench reporting)."""
+        return phase_columns(self.breakdown)

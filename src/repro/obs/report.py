@@ -1,0 +1,98 @@
+"""Offline trace summariser: ``python -m repro.obs.report TRACE``.
+
+Reads a trace file written by :mod:`repro.obs.export` — either Chrome
+trace-event JSON or the JSONL event dump, detected from the content —
+re-runs the phase attribution over the recorded phase events, and
+prints the per-phase latency table plus span and gauge counts.  Pure
+reading: nothing here runs a simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any
+
+from .phases import attribute_phases, render_phase_table
+
+__all__ = ["load_phase_events", "main"]
+
+
+def _rows_from_chrome(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    spans = 0
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "i" and event.get("cat") == "phase":
+            args = event.get("args", {})
+            rows.append(
+                {
+                    "type": "phase",
+                    "t": event["ts"] / 1e6,
+                    "tx": args.get("tx", ""),
+                    "phase": event["name"],
+                    "pid": event.get("tid", 0),
+                    "cross": bool(args.get("cross")),
+                }
+            )
+        elif event.get("ph") == "b":
+            spans += 1
+            rows.append({"type": "span", "cat": event.get("cat")})
+    return rows
+
+
+def load_phase_events(path: str) -> list[dict[str, Any]]:
+    """Load a trace file into normalised rows (format auto-detected)."""
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        return _rows_from_chrome(json.loads(text))
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print the phase-latency table for a trace file."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a flight-recorder trace (Chrome JSON or JSONL).",
+    )
+    parser.add_argument("trace", help="trace file written via --trace-out")
+    args = parser.parse_args(argv)
+
+    rows = load_phase_events(args.trace)
+    phase_events = [
+        (row["t"], row["tx"], row["phase"], row.get("pid", 0))
+        for row in rows
+        if row.get("type") == "phase"
+    ]
+    cross_txs = {
+        row["tx"] for row in rows if row.get("type") == "phase" and row.get("cross")
+    }
+    if not phase_events:
+        print(f"{args.trace}: no phase events found")
+        return 1
+
+    breakdown = attribute_phases(phase_events, cross_txs)
+    print(render_phase_table(breakdown))
+
+    slots = sum(1 for row in rows if row.get("type") == "slot")
+    slots += sum(1 for row in rows if row.get("type") == "span" and row.get("cat") == "slot")
+    vcs = sum(1 for row in rows if row.get("type") == "view_change")
+    vcs += sum(
+        1 for row in rows if row.get("type") == "span" and row.get("cat") == "view_change"
+    )
+    gauges = sum(1 for row in rows if row.get("type") == "gauge")
+    print(
+        f"{len(phase_events)} phase events, {slots} slot spans, "
+        f"{vcs} view-change spans, {gauges} gauge samples"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    raise SystemExit(main())

@@ -159,6 +159,11 @@ class Network:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        #: flight recorder (repro.obs); None on the (default) untraced
+        #: path.  When armed, send/multicast bump its per-message-type
+        #: counters — one ``is None`` check, no RNG draws, so traced
+        #: runs stay bit-identical on the wire.
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # registration
@@ -228,6 +233,9 @@ class Network:
         the message before it leaves the NIC.
         """
         self.messages_sent += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.count_send(message.__class__.__name__, 1)
         destination = self._processes.get(dst)
         if destination is None:
             raise NetworkError(f"cannot send to unknown process {dst}")
@@ -307,6 +315,9 @@ class Network:
                 last_arrival[link] = arrival
             deliveries.append((arrival, deliver, (destination, message, src)))
         self.messages_sent += attempted
+        recorder = self.recorder
+        if recorder is not None and attempted:
+            recorder.count_send(message.__class__.__name__, attempted)
         # Arrivals are >= departure >= now by construction, so push the
         # batch straight onto the queue, skipping schedule_many's check.
         sim._queue.push_many(deliveries)

@@ -43,6 +43,7 @@ from .simulator import Simulator, Timer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..adversary.interceptor import MessageInterceptor
+    from ..obs.recorder import FlightRecorder
 
 __all__ = ["Process"]
 
@@ -70,6 +71,10 @@ class Process:
         self.byzantine = False
         #: outbound message filter; None on the (default) faultless path.
         self.interceptor: "MessageInterceptor | None" = None
+        #: flight recorder (repro.obs); None on the (default) untraced
+        #: path — every instrumentation hook is one ``is None`` check,
+        #: the same lazy-arming contract as the interceptor above.
+        self.recorder: "FlightRecorder | None" = None
         self._cpu_free_at = 0.0
         self.messages_received = 0
         self.messages_sent = 0

@@ -35,7 +35,46 @@ from typing import Any, Callable, Iterable
 from ..common.errors import SimulationError
 from .events import Event, EventQueue
 
-__all__ = ["Simulator", "Timer"]
+__all__ = ["Simulator", "Timer", "RecurringTimer"]
+
+
+class RecurringTimer:
+    """A self-rescheduling timer handle returned by :meth:`Simulator.every`.
+
+    Fires ``callback()`` every ``interval`` simulated seconds until
+    cancelled.  Used by read-only periodic jobs (the flight recorder's
+    gauge sampler); the callback must not assume the simulation ends
+    while the timer is armed — ``run(until)`` simply leaves the next
+    firing queued past the horizon.
+    """
+
+    __slots__ = ("_sim", "_interval", "_callback", "_event", "_cancelled")
+
+    def __init__(self, sim: "Simulator", interval: float, callback: Callable[[], None]) -> None:
+        if interval <= 0:
+            raise SimulationError(f"recurring interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._cancelled = False
+        self._event = sim.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback()
+        if not self._cancelled:
+            self._event = self._sim.schedule(self._interval, self._fire)
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer will keep firing."""
+        return not self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the timer; no further callbacks run."""
+        self._cancelled = True
+        self._event.cancel()
 
 
 class Timer:
@@ -148,6 +187,17 @@ class Simulator:
     def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Arm a cancellable timer (protocol timeout helper)."""
         return Timer(self.schedule(delay, callback, *args))
+
+    def every(self, interval: float, callback: Callable[[], None]) -> RecurringTimer:
+        """Fire ``callback()`` every ``interval`` simulated seconds.
+
+        First firing is at ``now + interval``; keeps firing until the
+        returned handle is cancelled.  Meant for periodic *observers*
+        (gauge sampling): each firing is an ordinary event, so a run
+        with a recurring timer processes extra events but the callback
+        must not perturb protocol state.
+        """
+        return RecurringTimer(self, interval, callback)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Run the simulation.

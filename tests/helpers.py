@@ -45,6 +45,8 @@ class FakeHost:
         self.timers: list[FakeTimer] = []
         #: simulated clock (ConsensusHost interface); tests may advance it.
         self.now = 0.0
+        #: flight recorder (ConsensusHost interface); left unarmed here.
+        self.recorder = None
 
     # -- ConsensusHost interface ---------------------------------------
     def multicast_cluster(self, message: object) -> None:

@@ -62,6 +62,10 @@ class FakeHost:
         self.cross = FakeCross()
         self.forwarded = []
         self.monitored = []
+        #: flight recorder (ConsensusHost interface); left unarmed here.
+        self.recorder = None
+        self.now = 0.0
+        self.node_id = 0
 
     def primary_pid_of(self, cluster):
         return 1

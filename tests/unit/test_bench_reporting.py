@@ -1,0 +1,81 @@
+"""Unit tests for the bench reporting layer (CSV/table header contract)."""
+
+import csv
+import io
+
+from repro.bench.harness import Curve, CurvePoint
+from repro.bench.reporting import figure_to_csv, format_table
+from repro.common.metrics import RunStats
+
+
+#: the header every pre-observability BENCH_* CSV carried, in order —
+#: traced sweeps may append columns, but this prefix must never change.
+LEGACY_HEADER = ["system", "clients", "throughput_tps", "avg_latency_ms", "p95_latency_ms"]
+
+
+def _stats(committed=100, avg=0.002):
+    return RunStats(
+        duration=1.0,
+        committed=committed,
+        aborted=0,
+        throughput=committed / 1.0,
+        avg_latency=avg,
+        p50_latency=avg,
+        p95_latency=avg * 2,
+        p99_latency=avg * 3,
+        avg_latency_intra=avg,
+        avg_latency_cross=0.0,
+        committed_cross=0,
+    )
+
+
+def _curve(phase_columns=None):
+    return Curve(
+        system="sharper",
+        label="SharPer",
+        points=(
+            CurvePoint(clients=8, stats=_stats(80)),
+            CurvePoint(clients=16, stats=_stats(160), phase_columns=phase_columns or {}),
+        ),
+    )
+
+
+class _FakeFigureResult:
+    """Duck-typed stand-in for FigureResult (figure_to_csv only calls as_rows)."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def as_rows(self):
+        return self._rows
+
+
+class TestHeaderStability:
+    def test_untraced_header_is_exactly_legacy(self):
+        rows = _curve().as_rows()
+        csv_text = figure_to_csv(_FakeFigureResult(rows))
+        header = csv_text.splitlines()[0].split(",")
+        assert header == LEGACY_HEADER
+
+    def test_traced_columns_append_after_legacy_prefix(self):
+        rows = _curve({"phase_intra_decided_avg_ms": 0.5}).as_rows()
+        csv_text = figure_to_csv(_FakeFigureResult(rows))
+        header = csv_text.splitlines()[0].split(",")
+        assert header[: len(LEGACY_HEADER)] == LEGACY_HEADER
+        assert header[len(LEGACY_HEADER) :] == ["phase_intra_decided_avg_ms"]
+
+    def test_rows_missing_extra_columns_get_empty_cells(self):
+        rows = _curve({"phase_intra_decided_avg_ms": 0.5}).as_rows()
+        csv_text = figure_to_csv(_FakeFigureResult(rows))
+        parsed = list(csv.DictReader(io.StringIO(csv_text)))
+        assert parsed[0]["phase_intra_decided_avg_ms"] == ""
+        assert parsed[1]["phase_intra_decided_avg_ms"] == "0.5"
+
+    def test_format_table_renders_union_of_columns(self):
+        rows = _curve({"phase_intra_decided_avg_ms": 0.5}).as_rows()
+        table = format_table(rows)
+        assert "phase_intra_decided_avg_ms" in table.splitlines()[0]
+        assert "0.5" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"

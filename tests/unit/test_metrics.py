@@ -69,7 +69,28 @@ class TestMetricsCollector:
         assert row["avg_latency_ms"] == pytest.approx(50.0)
         assert row["throughput_tps"] == stats.throughput
 
-def make_stats(duration=1.0, committed=10, cross=0, avg=0.1, aborted=0):
+    def test_submitted_surfaces_as_offered_load(self):
+        collector = MetricsCollector()
+        for _ in range(4):
+            collector.record_submission()
+        collector.record_commit("a", 0.0, 0.1)
+        collector.record_abort()
+        stats = collector.finalize(end_time=1.0)
+        assert stats.submitted == 4
+        row = stats.as_dict()
+        assert row["submitted"] == 4
+        assert row["abort_rate"] == pytest.approx(0.25)
+        # The new columns are appended at the end; the legacy prefix is
+        # byte-stable for BENCH_* consumers keyed on column order.
+        assert list(row)[-2:] == ["submitted", "abort_rate"]
+
+    def test_abort_rate_zero_without_submissions(self):
+        stats = MetricsCollector().finalize(end_time=1.0)
+        assert stats.abort_rate == 0.0
+        assert stats.as_dict()["abort_rate"] == 0.0
+
+
+def make_stats(duration=1.0, committed=10, cross=0, avg=0.1, aborted=0, submitted=0):
     return RunStats(
         duration=duration,
         committed=committed,
@@ -82,6 +103,7 @@ def make_stats(duration=1.0, committed=10, cross=0, avg=0.1, aborted=0):
         avg_latency_intra=avg,
         avg_latency_cross=avg * 4 if cross else 0.0,
         committed_cross=cross,
+        submitted=submitted,
     )
 
 
@@ -120,3 +142,13 @@ class TestRunStatsAggregate:
         )
         assert pooled.committed_cross == 8
         assert pooled.avg_latency_cross == pytest.approx((2 * 0.4 + 6 * 1.2) / 8)
+
+    def test_submitted_and_abort_rate_pool(self):
+        pooled = RunStats.aggregate(
+            [
+                make_stats(committed=10, aborted=1, submitted=20),
+                make_stats(committed=30, aborted=3, submitted=60),
+            ]
+        )
+        assert pooled.submitted == 80
+        assert pooled.abort_rate == pytest.approx(4 / 80)

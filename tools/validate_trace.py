@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file against the recorder's schema.
+
+Checks the minimal invariants the obs-smoke CI job relies on:
+
+* the file parses and carries a non-empty ``traceEvents`` list;
+* timestamps are non-negative and non-decreasing in file order
+  (the exporter writes events sorted);
+* async span pairs balance — every ``"b"`` has a matching ``"e"`` for
+  the same ``(cat, id)`` (stack-scoped ``B``/``E`` pairs, if ever
+  emitted, must balance per track);
+* phase instant events use only known phase names.
+
+Importable (``validate(path) -> list[str]`` of problems) and runnable:
+``python tools/validate_trace.py trace.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+try:  # single source of truth when the package is importable
+    from repro.obs.phases import KNOWN_PHASES
+except ImportError:  # pragma: no cover - standalone fallback
+    KNOWN_PHASES = frozenset(
+        {
+            "submit", "enqueue", "seal", "propose", "prepared",
+            "cross_start", "cross_prepared", "decided", "applied", "reply",
+        }
+    )
+
+
+def validate(path: str) -> list[str]:
+    """Return a list of schema violations (empty means valid)."""
+    problems: list[str] = []
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace: {exc}"]
+
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+
+    last_ts = None
+    async_balance: dict[tuple[str, str], int] = {}
+    stack_depth: dict[tuple[int, int], int] = {}
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        ts = event.get("ts")
+        if ph is None or ts is None:
+            problems.append(f"event {index}: missing ph/ts")
+            continue
+        if ts < 0:
+            problems.append(f"event {index}: negative timestamp {ts}")
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {index}: timestamp {ts} decreases (prev {last_ts})"
+            )
+        last_ts = ts
+        if ph == "b":
+            key = (event.get("cat", ""), str(event.get("id")))
+            async_balance[key] = async_balance.get(key, 0) + 1
+        elif ph == "e":
+            key = (event.get("cat", ""), str(event.get("id")))
+            async_balance[key] = async_balance.get(key, 0) - 1
+            if async_balance[key] < 0:
+                problems.append(f"event {index}: 'e' without open 'b' for {key}")
+        elif ph == "B":
+            track = (event.get("pid", 0), event.get("tid", 0))
+            stack_depth[track] = stack_depth.get(track, 0) + 1
+        elif ph == "E":
+            track = (event.get("pid", 0), event.get("tid", 0))
+            stack_depth[track] = stack_depth.get(track, 0) - 1
+            if stack_depth[track] < 0:
+                problems.append(f"event {index}: 'E' without open 'B' on {track}")
+        elif ph == "i" and event.get("cat") == "phase":
+            if event.get("name") not in KNOWN_PHASES:
+                problems.append(
+                    f"event {index}: unknown phase name {event.get('name')!r}"
+                )
+
+    for key, depth in sorted(async_balance.items()):
+        if depth != 0:
+            problems.append(f"unbalanced async span {key}: {depth} open 'b'")
+    for track, depth in sorted(stack_depth.items()):
+        if depth != 0:
+            problems.append(f"unbalanced B/E stack on track {track}: depth {depth}")
+    if not any(e.get("ph") == "b" for e in events):
+        problems.append("no span events at all")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate each path argument; non-zero exit on any violation."""
+    paths = (argv if argv is not None else sys.argv[1:]) or []
+    if not paths:
+        print("usage: validate_trace.py TRACE.json [...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        problems = validate(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
