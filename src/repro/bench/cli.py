@@ -194,6 +194,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default 0.01; 0 disables the sampling timer, leaving a "
         "spans-only trace)",
     )
+    obs.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="scenario: record phase/causal chain events for every Nth "
+        "transaction only (default 1 = all), bounding trace size on "
+        "long high-load runs; protocol outcome is unchanged",
+    )
     return parser
 
 
@@ -240,7 +246,9 @@ def _run_scenario(args: argparse.Namespace) -> int:
         from ..obs import TraceSpec
 
         trace_spec = TraceSpec(
-            gauges=args.gauge_interval > 0, gauge_interval=args.gauge_interval
+            gauges=args.gauge_interval > 0,
+            gauge_interval=args.gauge_interval,
+            sample=args.trace_sample,
         )
     try:
         scenario = Scenario(
@@ -270,6 +278,11 @@ def _run_scenario(args: argparse.Namespace) -> int:
     if result.trace is not None:
         print()
         print(result.trace.phase_table())
+        if result.trace.critical is not None and result.trace.critical.txs:
+            print()
+            print(result.trace.critical_table())
+            print()
+            print(result.trace.straggler_table())
         if args.trace_out is not None:
             from ..obs import write_trace
 

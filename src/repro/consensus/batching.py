@@ -38,6 +38,17 @@ window reopens, queued-but-unproposed requests are forwarded to the new
 primary (or re-pumped, if this replica is the new primary), and the
 member index is cleared — a member that ends up ordered twice across the
 hand-off is skipped at apply time by the ledger's transaction index.
+
+Causal tracing (``repro.obs.causal``): the ``seal`` phase a batch member
+records is a leaf of the commit DAG — it annotates the member, it does
+not re-root its chain.  A request sealed *inside the dispatch that frees
+the window* is proposed within that dispatch's causal context, which
+belongs to an *earlier* transaction's commit; the critical-path walk
+clips there and charges the member a synthetic ``wait`` edge from its
+submit to the seal — exactly the time the request spent queued behind
+the window.  Deciding-vote bookkeeping is untouched by batching: the
+batch flows through the intra-shard engines as one item, so the quorum
+that decides the batch slot is the quorum recorded for every member.
 """
 
 from __future__ import annotations

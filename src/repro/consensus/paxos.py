@@ -59,7 +59,7 @@ class PaxosEngine(ConsensusEngine):
         message = PaxosAccept(view=self.view, slot=slot, digest=digest, item=item)
         self.host.multicast_cluster(message)
         # The primary's own vote counts toward the f + 1 majority.
-        self._accepted.vote((self.view, slot, digest), self.host.node_id)
+        fired = self._accepted.vote((self.view, slot, digest), self.host.node_id)
         self.view_change.monitor_slot(slot)
         recorder = self.host.recorder
         if recorder is not None:
@@ -68,6 +68,10 @@ class PaxosEngine(ConsensusEngine):
             recorder.slot_open(now, pid, int(self.host.cluster.cluster_id), slot)
             for request in member_requests(item):
                 recorder.phase(now, request.transaction.tx_id, "propose", pid)
+            if recorder.causal_armed:
+                recorder.quorum_vote(
+                    now, pid, "accept", (self.view, slot, digest), pid, fired
+                )
 
     # ------------------------------------------------------------------
     # message handling (table-driven; see HandlerTable.handle)
@@ -104,7 +108,13 @@ class PaxosEngine(ConsensusEngine):
         if not self.is_primary or message.view != self.view:
             return
         key = (message.view, message.slot, message.digest)
-        if not self._accepted.vote(key, src):
+        fired = self._accepted.vote(key, src)
+        recorder = self.host.recorder
+        if recorder is not None and recorder.causal_armed:
+            recorder.quorum_vote(
+                self.host.now, int(self.host.node_id), "accept", key, int(src), fired
+            )
+        if not fired:
             return
         entry = self.host.log.entry(message.slot)
         item = entry.item if entry is not None else None

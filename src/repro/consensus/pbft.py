@@ -134,7 +134,13 @@ class PBFTEngine(ConsensusEngine):
         self._record_prepare_vote(key, src)
 
     def _record_prepare_vote(self, key: tuple[int, int, str], voter: int) -> None:
-        if not self._prepares.vote(key, voter):
+        fired = self._prepares.vote(key, voter)
+        causal = self.host.recorder
+        if causal is not None and causal.causal_armed:
+            causal.quorum_vote(
+                self.host.now, int(self.host.node_id), "prepare", key, int(voter), fired
+            )
+        if not fired:
             return
         # Prepared: multicast commit and count our own commit vote.
         view, slot, digest = key
@@ -155,7 +161,13 @@ class PBFTEngine(ConsensusEngine):
         self._record_commit_vote(key, src)
 
     def _record_commit_vote(self, key: tuple[int, int, str], voter: int) -> None:
-        if not self._commits.vote(key, voter):
+        fired = self._commits.vote(key, voter)
+        causal = self.host.recorder
+        if causal is not None and causal.causal_armed:
+            causal.quorum_vote(
+                self.host.now, int(self.host.node_id), "commit", key, int(voter), fired
+            )
+        if not fired:
             return
         view, slot, digest = key
         item = self._items.get(key)

@@ -108,6 +108,12 @@ class _BaseClient(Process):
             recorder.submit(self.sim.now, transaction.tx_id, self.pid, cross)
         self.send(target, request)
         self._schedule_resend(state, transaction.tx_id)
+        if recorder is not None:
+            # The submit context must not leak into whatever runs next on
+            # this client (timer callbacks, the next closed-loop submit
+            # issued from a reply dispatch): only the request sent above
+            # parents to the submit event.
+            recorder.clear_context()
 
     def _schedule_resend(self, state: _Outstanding, tx_id: str) -> None:
         deadline = self.sim.now + self.retry_timeout

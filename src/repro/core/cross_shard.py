@@ -151,6 +151,11 @@ class CrashCrossShardEngine(HandlerTable):
                 pid = int(self.host.node_id)
                 for member in member_requests(request):
                     recorder.phase(now, member.transaction.tx_id, "cross_start", pid)
+                if recorder.causal_armed:
+                    # The initiator's own vote (counted above) never fires
+                    # the quorum by itself: every involved cluster needs a
+                    # full cross_quorum, so decided is always False here.
+                    recorder.quorum_vote(now, pid, "cross_accept", digest, pid, False)
         self._broadcast_propose(state)
         self._arm_retry_timer(state)
 
@@ -282,6 +287,12 @@ class CrashCrossShardEngine(HandlerTable):
         if message.slot is not None:
             state.slots.setdefault(message.cluster, message.slot)
         self._maybe_commit(state)
+        recorder = self.host.recorder
+        if recorder is not None and recorder.causal_armed:
+            recorder.quorum_vote(
+                self.host.now, int(self.host.node_id), "cross_accept",
+                message.digest, int(src), state.decided,
+            )
 
     def _maybe_commit(self, state: _CrashState) -> None:
         if state.decided:
@@ -582,6 +593,12 @@ class ByzantineCrossShardEngine(HandlerTable):
         if len(voters) >= quorum:
             state.confirmed_slots.setdefault(cluster, slot)
         self._maybe_send_commit(state)
+        recorder = self.host.recorder
+        if recorder is not None and recorder.causal_armed:
+            recorder.quorum_vote(
+                self.host.now, int(self.host.node_id), "cross_accept",
+                state.digest, int(voter), state.commit_sent,
+            )
 
     def _maybe_send_commit(self, state: _ByzState) -> None:
         if state.commit_sent or state.decided or state.request is None or not state.involved:
@@ -618,6 +635,12 @@ class ByzantineCrossShardEngine(HandlerTable):
         voters = state.commit_votes.setdefault(cluster, set())
         voters.add(voter)
         self._maybe_decide(state)
+        recorder = self.host.recorder
+        if recorder is not None and recorder.causal_armed:
+            recorder.quorum_vote(
+                self.host.now, int(self.host.node_id), "cross_commit",
+                state.digest, int(voter), state.decided,
+            )
 
     def _maybe_decide(self, state: _ByzState) -> None:
         if state.decided or state.request is None or not state.involved:

@@ -1,0 +1,383 @@
+"""Causal commit graphs: critical-path and quorum-straggler analytics.
+
+The recorder (when ``TraceSpec.causal`` is on) tags every traced event
+with a monotonically increasing event id and a *causal parent*:
+
+* a ``send`` node's parent is the context in which the send happened —
+  the ``recv`` node of the message being dispatched, or the ``submit``
+  event when a client issues a fresh request;
+* a ``recv`` node's parent is the matching ``send`` node (matched per
+  FIFO link by payload identity, so one multicast payload fans out to
+  one send node with many recv children);
+* a phase event's parent is the enclosing dispatch context.  Phase
+  events are *leaves* of the DAG — they never become anyone's parent —
+  except ``submit``, which opens the chain.
+
+Because the handler that completes a quorum runs inside the dispatch of
+the quorum-completing message, walking parents backwards from a
+transaction's ``reply`` event threads exactly through the deciding-vote
+arrival of every quorum on the way: the chain *is* the latency-dominant
+causal path.  :func:`critical_paths` reconstructs it per transaction;
+edge timestamps are the recorded node times, so consecutive edges are
+contiguous by construction and the path total ``replied - submitted``
+is the identical float expression the metrics layer computes for
+end-to-end latency — exact, not approximate (the same sums-exactly
+discipline as :func:`repro.obs.phases.attribute_phases`).
+
+Chains that pass through a wait the graph cannot see — a batch queued
+behind the pipeline window, a client retry fired from a timer (timers
+run with no context by design) — clip at the transaction's ``submit``
+and the gap is surfaced as a synthetic ``wait`` edge, so paths stay
+contiguous and exact even then.  Parent ids are strictly smaller than
+child ids, so the walk terminates and the graph is acyclic by
+construction (the trace validator re-checks both on exported files).
+
+Quorum stragglers: engines report every quorum vote arrival
+(:meth:`~repro.obs.recorder.FlightRecorder.quorum_vote`); the vote that
+flips ``decided`` is the *deciding vote*, and its lag behind the median
+vote arrival says how far behind the pack the quorum-completing replica
+ran.  :func:`straggler_summary` aggregates that per (voter, quorum
+kind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "CritEdge",
+    "TxCriticalPath",
+    "EdgeStats",
+    "CriticalSummary",
+    "StragglerStats",
+    "critical_paths",
+    "summarize_paths",
+    "summarize_edge_records",
+    "straggler_summary",
+    "render_critical_table",
+    "render_straggler_table",
+    "critpath_columns",
+]
+
+
+@dataclass(frozen=True)
+class CritEdge:
+    """One hop of a transaction's critical path.
+
+    ``kind`` classifies where the time went: ``send`` is sender-side
+    processing up to the NIC, ``recv`` is wire + receive queue + receive
+    CPU (the node time is the dispatch time), ``phase`` is a
+    same-dispatch milestone (zero width), ``wait`` is the synthetic
+    clip edge for time the causal graph cannot see (batch queuing,
+    timer-driven retries).
+    """
+
+    src_eid: int
+    dst_eid: int
+    src_pid: int
+    pid: int
+    kind: str
+    label: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class TxCriticalPath:
+    """The reconstructed submit→reply causal chain of one transaction."""
+
+    tx: str
+    cross: bool
+    submitted: float
+    replied: float
+    #: the walk reached the submit event through recorded parents only
+    #: (False: it clipped and the first edge is a synthetic ``wait``).
+    complete: bool
+    edges: tuple[CritEdge, ...]
+
+    @property
+    def total(self) -> float:
+        """End-to-end span — the same float expression as the metrics
+        layer's ``committed_at - submitted_at``, so equality is exact."""
+        return self.replied - self.submitted
+
+
+@dataclass(frozen=True)
+class EdgeStats:
+    """Critical-path time attributed to one edge type in one scope."""
+
+    kind: str
+    label: str
+    count: int
+    total_ms: float
+    avg_ms: float
+    #: fraction of the scope's summed critical-path time spent here.
+    share: float
+
+
+@dataclass(frozen=True)
+class CriticalSummary:
+    """Aggregated critical-path statistics for one traced run."""
+
+    txs: int
+    complete: int
+    hops_avg: float
+    #: fraction of critical-path time spent on ``recv`` edges (wire +
+    #: receive queue + receive CPU).
+    wire_share: float
+    #: fraction spent on synthetic ``wait`` edges (invisible queuing).
+    wait_share: float
+    intra_avg_ms: float
+    cross_avg_ms: float
+    intra: tuple[EdgeStats, ...]
+    cross: tuple[EdgeStats, ...]
+
+
+@dataclass(frozen=True)
+class StragglerStats:
+    """How often (and how late) one replica supplied a deciding vote."""
+
+    pid: int
+    kind: str
+    count: int
+    avg_lag_ms: float
+    max_lag_ms: float
+
+
+def critical_paths(
+    events: Sequence[tuple[float, str, str, int]],
+    event_meta: Sequence[tuple[int, int]],
+    causal: Iterable[tuple[int, int, float, str, int, str]],
+    cross_txs: frozenset[str] | set[str],
+) -> tuple[TxCriticalPath, ...]:
+    """Reconstruct every committed transaction's critical path.
+
+    ``events``/``event_meta`` are the recorder's aligned phase events and
+    ``(eid, parent)`` pairs; ``causal`` holds the message ``send``/``recv``
+    nodes.  Transactions without both a submit and a reply (in flight at
+    the horizon, or cut by a crash) are excluded — their chains simply
+    terminate at the last recorded event and are never walked.
+    """
+    if not event_meta:
+        return ()
+    # eid -> (parent, time, kind, pid, label)
+    nodes: dict[int, tuple[int, float, str, int, str]] = {}
+    for eid, parent, time, kind, pid, label in causal:
+        nodes[eid] = (parent, time, kind, pid, label)
+    submits: dict[str, tuple[int, float]] = {}
+    replies: dict[str, tuple[int, int, float]] = {}
+    for (time, tx, phase, pid), (eid, parent) in zip(events, event_meta):
+        nodes[eid] = (parent, time, "phase", pid, phase)
+        if phase == "submit":
+            if tx not in submits:
+                submits[tx] = (eid, time)
+        elif phase == "reply" and tx not in replies:
+            replies[tx] = (eid, parent, time)
+
+    paths: list[TxCriticalPath] = []
+    for tx, (reply_eid, reply_parent, replied) in replies.items():
+        start = submits.get(tx)
+        if start is None:
+            continue
+        submit_eid, submitted = start
+        if replied < submitted or reply_eid <= submit_eid:
+            continue
+        # Backward walk: parent ids are strictly smaller than child ids,
+        # so the chain strictly decreases and must terminate.  It either
+        # reaches this transaction's submit (complete) or escapes the
+        # transaction's window / hits a contextless event (clip).
+        chain = [reply_eid]
+        cursor = reply_parent
+        complete = False
+        while cursor:
+            if cursor == submit_eid:
+                complete = True
+                break
+            if cursor < submit_eid or cursor >= chain[-1]:
+                break
+            node = nodes.get(cursor)
+            if node is None:
+                break
+            chain.append(cursor)
+            cursor = node[0]
+        chain.append(submit_eid)
+        chain.reverse()
+
+        edges = []
+        for index in range(len(chain) - 1):
+            src_eid, dst_eid = chain[index], chain[index + 1]
+            _, src_t, _, src_pid, _ = nodes[src_eid]
+            _, dst_t, dst_kind, dst_pid, dst_label = nodes[dst_eid]
+            if index == 0 and not complete:
+                dst_kind = dst_label = "wait"
+            edges.append(
+                CritEdge(
+                    src_eid=src_eid,
+                    dst_eid=dst_eid,
+                    src_pid=src_pid,
+                    pid=dst_pid,
+                    kind=dst_kind,
+                    label=dst_label,
+                    t0=src_t,
+                    t1=dst_t,
+                )
+            )
+        paths.append(
+            TxCriticalPath(
+                tx=tx,
+                cross=tx in cross_txs,
+                submitted=submitted,
+                replied=replied,
+                complete=complete,
+                edges=tuple(edges),
+            )
+        )
+    paths.sort(key=lambda path: (path.submitted, path.tx))
+    return tuple(paths)
+
+
+def summarize_paths(paths: Sequence[TxCriticalPath]) -> CriticalSummary:
+    """Aggregate reconstructed paths into a :class:`CriticalSummary`."""
+    records = [
+        (path.tx, path.cross, edge.kind, f"{edge.kind}:{edge.label}", edge.duration)
+        for path in paths
+        for edge in path.edges
+    ]
+    complete = sum(1 for path in paths if path.complete)
+    return summarize_edge_records(records, txs=len(paths), complete=complete)
+
+
+def summarize_edge_records(
+    records: Iterable[tuple[str, bool, str, str, float]],
+    txs: int,
+    complete: int,
+) -> CriticalSummary:
+    """Aggregate ``(tx, cross, kind, label, duration)`` edge records.
+
+    Shared by :func:`summarize_paths` and the offline report, which
+    rebuilds the records from a Chrome trace's flow events.  Per-scope
+    averages divide summed edge durations by distinct transactions —
+    since every path's edges telescope over its span, that sum matches
+    the summed end-to-end latency (to float rounding).
+    """
+    per_scope: dict[bool, dict[tuple[str, str], list[float]]] = {False: {}, True: {}}
+    scope_total = {False: 0.0, True: 0.0}
+    scope_txs: dict[bool, set[str]] = {False: set(), True: set()}
+    wire = wait = total_all = 0.0
+    hops = 0
+    for tx, cross, kind, label, duration in records:
+        hops += 1
+        bucket = per_scope[cross].setdefault((kind, label), [0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += duration
+        scope_total[cross] += duration
+        scope_txs[cross].add(tx)
+        total_all += duration
+        if kind == "recv":
+            wire += duration
+        elif kind == "wait":
+            wait += duration
+
+    def stats(cross: bool) -> tuple[EdgeStats, ...]:
+        denom = scope_total[cross]
+        ordered = sorted(per_scope[cross].items(), key=lambda item: -item[1][1])
+        return tuple(
+            EdgeStats(
+                kind=kind,
+                label=label,
+                count=int(count),
+                total_ms=total * 1e3,
+                avg_ms=total / count * 1e3,
+                share=(total / denom) if denom > 0 else 0.0,
+            )
+            for (kind, label), (count, total) in ordered
+        )
+
+    intra_txs, cross_txs_count = len(scope_txs[False]), len(scope_txs[True])
+    return CriticalSummary(
+        txs=txs,
+        complete=complete,
+        hops_avg=(hops / txs) if txs else 0.0,
+        wire_share=(wire / total_all) if total_all > 0 else 0.0,
+        wait_share=(wait / total_all) if total_all > 0 else 0.0,
+        intra_avg_ms=(scope_total[False] / intra_txs * 1e3) if intra_txs else 0.0,
+        cross_avg_ms=(scope_total[True] / cross_txs_count * 1e3) if cross_txs_count else 0.0,
+        intra=stats(False),
+        cross=stats(True),
+    )
+
+
+def straggler_summary(
+    deciding: Iterable[tuple[int, str, Any, int, float, float]],
+) -> tuple[StragglerStats, ...]:
+    """Aggregate deciding-vote rows per (voter, quorum kind).
+
+    Rows are the recorder's ``(observer_pid, kind, key, voter, t, lag)``
+    tuples; ``lag`` is the deciding vote's arrival behind the median
+    vote of its quorum.  Sorted worst average lag first.
+    """
+    groups: dict[tuple[int, str], list[float]] = {}
+    for _pid, kind, _key, voter, _t, lag in deciding:
+        groups.setdefault((int(voter), kind), []).append(lag)
+    out = [
+        StragglerStats(
+            pid=voter,
+            kind=kind,
+            count=len(lags),
+            avg_lag_ms=sum(lags) / len(lags) * 1e3,
+            max_lag_ms=max(lags) * 1e3,
+        )
+        for (voter, kind), lags in groups.items()
+    ]
+    out.sort(key=lambda entry: (-entry.avg_lag_ms, entry.pid, entry.kind))
+    return tuple(out)
+
+
+def render_critical_table(summary: CriticalSummary) -> str:
+    """Render the critical-path breakdown as an aligned text table."""
+    header = f"{'scope':7s} {'critical edge':28s} {'count':>7s} {'avg ms':>9s} {'share':>7s}"
+    lines = [header, "-" * len(header)]
+    for scope, stats in (("intra", summary.intra), ("cross", summary.cross)):
+        for entry in stats:
+            lines.append(
+                f"{scope:7s} {entry.label:28s} {entry.count:>7d} "
+                f"{entry.avg_ms:>9.3f} {entry.share:>6.1%}"
+            )
+    lines.append(
+        f"{summary.txs} critical paths ({summary.complete} complete); "
+        f"avg {summary.hops_avg:.1f} hops; wire {summary.wire_share:.1%}, "
+        f"wait {summary.wait_share:.1%} of critical-path time"
+    )
+    return "\n".join(lines)
+
+
+def render_straggler_table(stats: Sequence[StragglerStats]) -> str:
+    """Render deciding-vote straggler statistics as a text table."""
+    header = f"{'replica':>7s} {'quorum':14s} {'deciding':>8s} {'avg lag ms':>11s} {'max lag ms':>11s}"
+    lines = [header, "-" * len(header)]
+    for entry in stats:
+        lines.append(
+            f"{entry.pid:>7d} {entry.kind:14s} {entry.count:>8d} "
+            f"{entry.avg_lag_ms:>11.3f} {entry.max_lag_ms:>11.3f}"
+        )
+    if not stats:
+        lines.append("(no deciding votes recorded)")
+    return "\n".join(lines)
+
+
+def critpath_columns(summary: CriticalSummary) -> dict[str, float]:
+    """Flatten the summary into additive ``critpath_*`` CSV columns."""
+    return {
+        "critpath_txs": summary.txs,
+        "critpath_complete": summary.complete,
+        "critpath_hops_avg": round(summary.hops_avg, 3),
+        "critpath_wire_share": round(summary.wire_share, 6),
+        "critpath_wait_share": round(summary.wait_share, 6),
+        "critpath_intra_avg_ms": round(summary.intra_avg_ms, 4),
+        "critpath_cross_avg_ms": round(summary.cross_avg_ms, 4),
+    }

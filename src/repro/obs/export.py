@@ -10,9 +10,21 @@ Spans still open at the end of the run are closed at the final
 timestamp with ``args: {"open": true}`` so every ``"b"`` has a matching
 ``"e"`` — the validator checks that balance.
 
+When causal data is present (:mod:`repro.obs.causal`), each
+critical-path hop additionally becomes a flow ``"s"``/``"f"`` pair
+(``cat: "flow"``) — Perfetto renders them as arrows between tracks, so
+the latency-dominant chain of a transaction is visible as a connected
+path through the spans.  Flow args are self-contained: every ``"f"``
+carries the event id of its own ``"s"`` as ``parent``, so the validator
+can check edge integrity (no dangling parents, no cycles) on the file
+alone.  Deciding quorum votes are ``"i"`` instants (``cat:
+"deciding"``) on the observer's track.
+
 The JSONL writer dumps one self-describing JSON object per line (meta
-header first, then phase/slot/view_change/gauge rows) — the format the
-report CLI and ad-hoc ``jq`` pipelines consume.
+header first, then phase/slot/view_change/causal/deciding/gauge rows)
+— the format the report CLI and ad-hoc ``jq`` pipelines consume; phase
+rows carry their ``eid``/``parent`` when the causal layer recorded
+them, letting the report rebuild critical paths offline.
 """
 
 from __future__ import annotations
@@ -107,6 +119,64 @@ def chrome_trace_events(report: "TraceReport") -> list[dict[str, Any]]:
                 }
             )
 
+    # Critical-path hops as Perfetto flow arrows.  Zero-width phase
+    # edges are skipped (the instants above already mark them); wait
+    # edges are kept — the arrow from submit to the clip point is
+    # exactly the invisible queuing the analyzer charges the tx.
+    flow_id = 0
+    for path in report.critical_paths():
+        for edge in path.edges:
+            if edge.kind == "phase":
+                continue
+            flow_id += 1
+            group0, tid0 = track(edge.src_pid)
+            group1, tid1 = track(edge.pid)
+            base = {"cat": "flow", "name": f"critpath:{edge.label}", "id": f"f{flow_id}"}
+            events.append(
+                {
+                    **base,
+                    "ph": "s",
+                    "pid": group0,
+                    "tid": tid0,
+                    "ts": _us(edge.t0),
+                    "args": {"eid": edge.src_eid, "tx": path.tx},
+                }
+            )
+            events.append(
+                {
+                    **base,
+                    "ph": "f",
+                    "bp": "e",
+                    "pid": group1,
+                    "tid": tid1,
+                    "ts": _us(edge.t1),
+                    "args": {
+                        "eid": edge.dst_eid,
+                        "parent": edge.src_eid,
+                        "kind": edge.kind,
+                        "label": edge.label,
+                        "dur_ms": round((edge.t1 - edge.t0) * 1e3, 6),
+                        "tx": path.tx,
+                        "cross": path.cross,
+                    },
+                }
+            )
+
+    for pid, kind, key, voter, time, lag in report.deciding:
+        group, tid = track(pid)
+        events.append(
+            {
+                "ph": "i",
+                "cat": "deciding",
+                "name": f"deciding:{kind}",
+                "pid": group,
+                "tid": tid,
+                "ts": _us(time),
+                "s": "t",
+                "args": {"voter": voter, "lag_ms": round(lag * 1e3, 6), "key": str(key)},
+            }
+        )
+
     # Stable sort: a zero-length span's "b" was appended before its "e"
     # and stays first, so pairs never invert at equal timestamps.
     events.sort(key=lambda event: event["ts"])
@@ -159,15 +229,30 @@ def jsonl_rows(report: "TraceReport") -> Iterator[dict[str, Any]]:
         "sent_by_type": report.sent_by_type,
     }
     cross = report.cross_txs
-    for time, tx, phase, pid in report.events:
-        yield {
-            "type": "phase",
-            "t": time,
-            "tx": tx,
-            "phase": phase,
-            "pid": pid,
-            "cross": tx in cross,
-        }
+    if report.event_meta:
+        for (time, tx, phase, pid), (eid, parent) in zip(
+            report.events, report.event_meta
+        ):
+            yield {
+                "type": "phase",
+                "t": time,
+                "tx": tx,
+                "phase": phase,
+                "pid": pid,
+                "cross": tx in cross,
+                "eid": eid,
+                "parent": parent,
+            }
+    else:
+        for time, tx, phase, pid in report.events:
+            yield {
+                "type": "phase",
+                "t": time,
+                "tx": tx,
+                "phase": phase,
+                "pid": pid,
+                "cross": tx in cross,
+            }
     for pid, cluster, slot, t0, t1 in report.slot_spans:
         yield {
             "type": "slot", "pid": pid, "cluster": cluster, "slot": slot,
@@ -187,6 +272,16 @@ def jsonl_rows(report: "TraceReport") -> Iterator[dict[str, Any]]:
         yield {
             "type": "view_change", "pid": pid, "cluster": cluster, "view": view,
             "t0": t0, "t1": report.end_time, "open": True,
+        }
+    for eid, parent, time, kind, pid, label in report.causal:
+        yield {
+            "type": "causal", "eid": eid, "parent": parent, "t": time,
+            "kind": kind, "pid": pid, "label": label,
+        }
+    for pid, kind, key, voter, time, lag in report.deciding:
+        yield {
+            "type": "deciding", "pid": pid, "kind": kind, "key": str(key),
+            "voter": voter, "t": time, "lag": lag,
         }
     for sample in report.gauges:
         yield {"type": "gauge", **sample}

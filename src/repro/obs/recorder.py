@@ -18,13 +18,30 @@ network state, so a gauge-sampled run produces identical protocol
 behaviour and its event count exceeds the untraced run by exactly
 ``gauge_ticks``.  With ``gauge_interval=0`` (spans-only) even the event
 count is bit-identical.
+
+The causal layer (``TraceSpec.causal``, on by default when tracing)
+additionally tags every message with a parent event id at send, matches
+it back at dispatch, and records quorum deciding votes — all pure
+appends with no simulator events or RNG draws, reduced by
+:mod:`repro.obs.causal` into per-transaction critical paths whose span
+equals measured end-to-end latency exactly.
 """
 
 from __future__ import annotations
 
+from statistics import median
 from dataclasses import dataclass, field
 from typing import Any
 
+from .causal import (
+    CriticalSummary,
+    critical_paths as compute_critical_paths,
+    critpath_columns,
+    render_critical_table,
+    render_straggler_table,
+    straggler_summary,
+    summarize_paths,
+)
 from .phases import PhaseBreakdown, attribute_phases, phase_columns, render_phase_table
 
 __all__ = ["TraceSpec", "FlightRecorder", "TraceReport", "normalize_trace"]
@@ -37,13 +54,23 @@ class TraceSpec:
     ``gauge_interval`` is in simulated seconds; ``0`` (or
     ``gauges=False``) disables the sampling timer entirely, leaving a
     spans-only trace whose simulator event count matches the untraced
-    run bit for bit.
+    run bit for bit.  ``causal`` adds message-level parent tagging and
+    quorum deciding-vote records (:mod:`repro.obs.causal`) — pure
+    recording, no simulator events, no RNG draws, so it never changes
+    protocol outcome either.  ``sample=N`` keeps phase/causal chain
+    events for every Nth submitted transaction only, bounding trace
+    size on long high-load runs; message nodes, spans, and gauges are
+    shared infrastructure and are always kept.
     """
 
     #: Sample live gauges on a rolling simulator timer.
     gauges: bool = True
     #: Gauge sampling period in simulated seconds (0 disables).
     gauge_interval: float = 0.01
+    #: Record causal parents per message and quorum deciding votes.
+    causal: bool = True
+    #: Record phase events for every Nth transaction (1 = all).
+    sample: int = 1
 
 
 def normalize_trace(trace: "TraceSpec | bool | None") -> TraceSpec | None:
@@ -77,18 +104,67 @@ class FlightRecorder:
         self.gauge_ticks = 0
         self._system: Any = None
         self._gauge_timer: Any = None
+        #: causal layer armed (checked by Process/Network hot paths).
+        self.causal_armed = bool(self.spec.causal)
+        #: last assigned event id (strictly increasing; 0 = "no event").
+        self._eid = 0
+        #: current dispatch context: the recv/submit eid new events
+        #: parent to.  Set only by begin_dispatch/submit, cleared by
+        #: clear_context — timer callbacks always run with context 0.
+        self._ctx = 0
+        #: ``(eid, parent)`` per phase event, aligned with :attr:`events`.
+        self.event_meta: list[tuple[int, int]] = []
+        #: message nodes ``(eid, parent, t, kind, pid, label)``;
+        #: kind is "send" (NIC departure) or "recv" (dispatch time).
+        self.causal: list[tuple[int, int, float, str, int, str]] = []
+        #: per-link send nodes awaiting their recv, keyed ``src<<21|dst``
+        #: as ``(send_eid, id(payload))`` — multicast shares one payload
+        #: object, so identity matching pairs each delivery with its
+        #: (single) send node; FIFO links let unmatched earlier entries
+        #: (delivered to a crashed node) be discarded on match.
+        self._links: dict[int, list[tuple[int, int]]] = {}
+        self._sample = max(1, self.spec.sample)
+        self._submit_seq = 0
+        #: tx ids whose chain is recorded (None: sampling off, keep all).
+        self._sampled: set[str] | None = set() if self._sample > 1 else None
+        #: quorum votes per (observer pid, kind, key): (t, voter) rows.
+        self._quorum_votes: dict[tuple, list[tuple[float, int]]] = {}
+        #: quorum keys whose deciding vote already arrived.
+        self._quorum_done: set[tuple] = set()
 
     # -- hot-path hooks (every caller guards ``recorder is not None``) --
 
     def phase(self, time: float, tx_id: str, phase: str, pid: int) -> None:
         """Record one lifecycle milestone for ``tx_id``."""
+        sampled = self._sampled
+        if sampled is not None and tx_id not in sampled:
+            return
         self.events.append((time, tx_id, phase, pid))
+        if self.causal_armed:
+            self._eid += 1
+            self.event_meta.append((self._eid, self._ctx))
 
     def submit(self, time: float, tx_id: str, pid: int, cross: bool) -> None:
-        """Record a client submit (and classify the tx's lane)."""
+        """Record a client submit (and classify the tx's lane).
+
+        Opens the transaction's causal chain: the submit event becomes
+        the dispatch context, so the request's wire send parents to it.
+        The client clears the context again right after the send.
+        """
+        sampled = self._sampled
+        if sampled is not None:
+            seq = self._submit_seq
+            self._submit_seq = seq + 1
+            if seq % self._sample:
+                return
+            sampled.add(tx_id)
         if cross:
             self.cross_txs.add(tx_id)
         self.events.append((time, tx_id, "submit", pid))
+        if self.causal_armed:
+            self._eid += 1
+            self.event_meta.append((self._eid, self._ctx))
+            self._ctx = self._eid
 
     def slot_open(self, time: float, pid: int, cluster: int, slot: int) -> None:
         """Open a consensus-slot span (first open per replica wins)."""
@@ -117,6 +193,83 @@ class FlightRecorder:
         """Bump the per-message-type outbound counter (Network hook)."""
         counters = self.sent_by_type
         counters[type_name] = counters.get(type_name, 0) + count
+
+    # -- causal hooks (callers additionally guard ``causal_armed``) -----
+
+    def wire_send(self, time: float, src: int, dst: int, message: Any) -> None:
+        """Record a unicast send node at its NIC departure time."""
+        self._eid += 1
+        eid = self._eid
+        self.causal.append((eid, self._ctx, time, "send", src, message.__class__.__name__))
+        link = (src << 21) | dst
+        queue = self._links.get(link)
+        if queue is None:
+            queue = self._links[link] = []
+        queue.append((eid, id(message)))
+
+    def wire_multicast(self, time: float, src: int, dsts: list, message: Any) -> None:
+        """Record one send node, fanned out to every destination link."""
+        self._eid += 1
+        eid = self._eid
+        self.causal.append((eid, self._ctx, time, "send", src, message.__class__.__name__))
+        links = self._links
+        entry = (eid, id(message))
+        for dst in dsts:
+            link = (src << 21) | dst
+            queue = links.get(link)
+            if queue is None:
+                queue = links[link] = []
+            queue.append(entry)
+
+    def begin_dispatch(self, time: float, message: Any, src: int, pid: int) -> None:
+        """Open a recv context: events the handler records parent here.
+
+        The recv node's parent is the matching send node, found by
+        payload identity on the (FIFO) link queue; earlier unmatched
+        entries were delivered to a crashed process (or the link is
+        non-FIFO) and are discarded — their chains clip cleanly.
+        """
+        queue = self._links.get((src << 21) | pid)
+        parent = 0
+        if queue:
+            ident = id(message)
+            for index, (send_eid, send_ident) in enumerate(queue):
+                if send_ident == ident:
+                    parent = send_eid
+                    del queue[: index + 1]
+                    break
+        self._eid += 1
+        eid = self._eid
+        self.causal.append((eid, parent, time, "recv", pid, message.__class__.__name__))
+        self._ctx = eid
+
+    def clear_context(self) -> None:
+        """Close the current dispatch context (try/finally on dispatch)."""
+        self._ctx = 0
+
+    def quorum_vote(
+        self, time: float, pid: int, kind: str, key: Any, voter: int, decided: bool
+    ) -> None:
+        """Record one quorum vote arrival at observer ``pid``.
+
+        The vote that flips ``decided`` is the *deciding vote* and
+        closes the key — later votes are dropped, so engines may pass
+        their current (post-flip) decided state; duplicate voters are
+        dropped too, keeping the median over distinct voters.
+        """
+        track = (pid, kind, key)
+        if track in self._quorum_done:
+            return
+        votes = self._quorum_votes.get(track)
+        if votes is None:
+            votes = self._quorum_votes[track] = []
+        else:
+            for _, seen in votes:
+                if seen == voter:
+                    return
+        votes.append((time, voter))
+        if decided:
+            self._quorum_done.add(track)
 
     # -- gauges ---------------------------------------------------------
 
@@ -184,6 +337,22 @@ class FlightRecorder:
             if cluster is not None:
                 pid_clusters[int(process.pid)] = int(cluster.cluster_id)
         breakdown = attribute_phases(self.events, self.cross_txs)
+        deciding: list[tuple[int, str, Any, int, float, float]] = []
+        for track, votes in self._quorum_votes.items():
+            if track not in self._quorum_done:
+                continue
+            pid, kind, key = track
+            t_decided, voter = votes[-1]
+            lag = t_decided - median(t for t, _ in votes)
+            deciding.append((pid, kind, key, voter, t_decided, lag))
+        deciding.sort(key=lambda row: (row[4], row[0], row[1], str(row[2])))
+        critical = None
+        if self.causal_armed:
+            critical = summarize_paths(
+                compute_critical_paths(
+                    self.events, self.event_meta, self.causal, self.cross_txs
+                )
+            )
         return TraceReport(
             events=tuple(self.events),
             cross_txs=frozenset(self.cross_txs),
@@ -204,6 +373,10 @@ class FlightRecorder:
             breakdown=breakdown,
             pid_clusters=pid_clusters,
             end_time=end_time,
+            event_meta=tuple(self.event_meta),
+            causal=tuple(self.causal),
+            deciding=tuple(deciding),
+            critical=critical,
         )
 
 
@@ -230,20 +403,35 @@ class TraceReport:
     breakdown: PhaseBreakdown
     pid_clusters: dict[int, int] = field(default_factory=dict)
     end_time: float = 0.0
+    #: ``(eid, parent)`` per phase event, aligned with :attr:`events`.
+    event_meta: tuple[tuple[int, int], ...] = ()
+    #: message send/recv nodes ``(eid, parent, t, kind, pid, label)``.
+    causal: tuple[tuple[int, int, float, str, int, str], ...] = ()
+    #: deciding-vote rows ``(pid, kind, key, voter, t, lag)``.
+    deciding: tuple[tuple[int, str, Any, int, float, float], ...] = ()
+    #: aggregated critical-path stats (None when causal was off).
+    critical: CriticalSummary | None = None
 
     def summary(self) -> str:
         """One status line for ``ScenarioResult.summary()``."""
-        return (
+        line = (
             f"{len(self.events)} phase events over {self.breakdown.txs} txs, "
             f"{len(self.slot_spans)} slot spans, "
             f"{len(self.vc_spans)} view-change spans "
             f"({len(self.open_vcs)} open), {self.gauge_ticks} gauge ticks, "
             f"{self.breakdown.attributed_fraction:.1%} latency attributed"
         )
+        if self.critical is not None and self.critical.txs:
+            line += (
+                f"; {self.critical.txs} critical paths "
+                f"({self.critical.complete} complete, "
+                f"wire {self.critical.wire_share:.0%})"
+            )
+        return line
 
     def as_dict(self) -> dict[str, Any]:
         """Additive flat columns for ``ScenarioResult.as_dict()``."""
-        return {
+        row = {
             "trace_events": len(self.events),
             "trace_txs": self.breakdown.txs,
             "trace_slot_spans": len(self.slot_spans),
@@ -251,11 +439,42 @@ class TraceReport:
             "trace_gauge_ticks": self.gauge_ticks,
             "trace_attributed": round(self.breakdown.attributed_fraction, 6),
         }
+        row.update(self.critpath_columns())
+        return row
 
     def phase_table(self) -> str:
         """The per-phase latency breakdown as an aligned text table."""
         return render_phase_table(self.breakdown)
 
     def phase_columns(self) -> dict[str, float]:
-        """Additive per-phase CSV columns (see bench reporting)."""
-        return phase_columns(self.breakdown)
+        """Additive per-phase CSV columns (see bench reporting).
+
+        ``critpath_*`` columns ride along when causal data is present,
+        so traced bench sweeps surface critical-path stats without the
+        harness knowing about them.
+        """
+        columns = phase_columns(self.breakdown)
+        columns.update(self.critpath_columns())
+        return columns
+
+    def critpath_columns(self) -> dict[str, float]:
+        """Additive ``critpath_*`` CSV columns (empty when causal off)."""
+        if self.critical is None:
+            return {}
+        return critpath_columns(self.critical)
+
+    def critical_paths(self):
+        """Recompute the per-transaction critical paths on demand."""
+        return compute_critical_paths(
+            self.events, self.event_meta, self.causal, self.cross_txs
+        )
+
+    def critical_table(self) -> str:
+        """The critical-path breakdown as an aligned text table."""
+        if self.critical is None:
+            return "(no causal data recorded)"
+        return render_critical_table(self.critical)
+
+    def straggler_table(self) -> str:
+        """Deciding-vote straggler statistics as an aligned text table."""
+        return render_straggler_table(straggler_summary(self.deciding))

@@ -255,6 +255,8 @@ class Network:
             arrival = max(arrival, self._last_arrival.get(link, 0.0))
             self._last_arrival[link] = arrival
         self.sim.schedule_at_fast(arrival, self._deliver, (destination, message, src))
+        if recorder is not None and recorder.causal_armed:
+            recorder.wire_send(departure, src, dst, message)
         return True
 
     def multicast(
@@ -316,8 +318,16 @@ class Network:
             deliveries.append((arrival, deliver, (destination, message, src)))
         self.messages_sent += attempted
         recorder = self.recorder
-        if recorder is not None and attempted:
-            recorder.count_send(message.__class__.__name__, attempted)
+        if recorder is not None:
+            if attempted:
+                recorder.count_send(message.__class__.__name__, attempted)
+            if deliveries and recorder.causal_armed:
+                recorder.wire_multicast(
+                    departure,
+                    src,
+                    [delivery[2][0].pid for delivery in deliveries],
+                    message,
+                )
         # Arrivals are >= departure >= now by construction, so push the
         # batch straight onto the queue, skipping schedule_many's check.
         sim._queue.push_many(deliveries)

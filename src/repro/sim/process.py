@@ -143,14 +143,34 @@ class Process:
     def _dispatch_message(self, message: Any, src: int) -> None:
         if self.crashed:
             return
-        if self._uses_default_on_message:
-            handler = self._dispatch.get(message.__class__)
-            if handler is not None:
-                handler(message, src)
-            elif not self._dispatch:
-                self.on_message(message, src)  # raises NotImplementedError
-        else:
-            self.on_message(message, src)
+        recorder = self.recorder
+        if recorder is None or not recorder.causal_armed:
+            if self._uses_default_on_message:
+                handler = self._dispatch.get(message.__class__)
+                if handler is not None:
+                    handler(message, src)
+                elif not self._dispatch:
+                    self.on_message(message, src)  # raises NotImplementedError
+            else:
+                self.on_message(message, src)
+            return
+        # Causal tracing: bracket the handler in a recv context so every
+        # event it records (phases, sends, quorum votes) parents to this
+        # arrival.  The dispatch body is duplicated rather than factored
+        # into a helper to keep the untraced branch above allocation- and
+        # call-free — this is the hottest method in the repo.
+        recorder.begin_dispatch(self.sim._now, message, src, self.pid)
+        try:
+            if self._uses_default_on_message:
+                handler = self._dispatch.get(message.__class__)
+                if handler is not None:
+                    handler(message, src)
+                elif not self._dispatch:
+                    self.on_message(message, src)  # raises NotImplementedError
+            else:
+                self.on_message(message, src)
+        finally:
+            recorder.clear_context()
 
     def register_handler(self, message_type: type, handler: MessageHandler) -> None:
         """Route messages of exactly ``message_type`` to ``handler``.

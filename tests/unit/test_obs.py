@@ -159,7 +159,10 @@ class TestFlightRecorder:
     def test_as_dict_columns_are_prefixed(self):
         recorder = FlightRecorder(TraceSpec(gauges=False))
         report = recorder.finalize(_FakeSystem(), end_time=0.1)
-        assert all(key.startswith("trace_") for key in report.as_dict())
+        assert all(
+            key.startswith(("trace_", "critpath_")) for key in report.as_dict()
+        )
+        assert "critpath_txs" in report.as_dict()
 
 
 # ----------------------------------------------------------------------

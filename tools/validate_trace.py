@@ -9,7 +9,13 @@ Checks the minimal invariants the obs-smoke CI job relies on:
 * async span pairs balance — every ``"b"`` has a matching ``"e"`` for
   the same ``(cat, id)`` (stack-scoped ``B``/``E`` pairs, if ever
   emitted, must balance per track);
-* phase instant events use only known phase names.
+* phase instant events use only known phase names;
+* when flow events are present (the causal layer's critical-path
+  arrows), every flow id pairs exactly one ``"s"`` with one ``"f"``,
+  every ``"f"``'s ``parent`` event id references an event id that
+  exists in the file, and following parents never cycles.  Traces
+  written before the causal layer carry no flow events and skip these
+  checks entirely.
 
 Importable (``validate(path) -> list[str]`` of problems) and runnable:
 ``python tools/validate_trace.py trace.json``.
@@ -47,6 +53,12 @@ def validate(path: str) -> list[str]:
     last_ts = None
     async_balance: dict[tuple[str, str], int] = {}
     stack_depth: dict[tuple[int, int], int] = {}
+    #: per flow (cat, id): [count of "s", count of "f"].
+    flow_balance: dict[tuple[str, str], list[int]] = {}
+    #: every event id announced by any flow event's args.
+    flow_eids: set[int] = set()
+    #: eid -> (file index, parent eid) for each flow "f" edge.
+    flow_parents: dict[int, tuple[int, int]] = {}
     for index, event in enumerate(events):
         ph = event.get("ph")
         ts = event.get("ts")
@@ -81,6 +93,21 @@ def validate(path: str) -> list[str]:
                 problems.append(
                     f"event {index}: unknown phase name {event.get('name')!r}"
                 )
+        elif ph in ("s", "t", "f"):
+            key = (event.get("cat", ""), str(event.get("id")))
+            counts = flow_balance.setdefault(key, [0, 0])
+            if ph == "s":
+                counts[0] += 1
+            elif ph == "f":
+                counts[1] += 1
+            args = event.get("args", {})
+            eid = args.get("eid")
+            if isinstance(eid, int):
+                flow_eids.add(eid)
+                if ph == "f":
+                    parent = args.get("parent")
+                    if isinstance(parent, int):
+                        flow_parents[eid] = (index, parent)
 
     for key, depth in sorted(async_balance.items()):
         if depth != 0:
@@ -90,6 +117,35 @@ def validate(path: str) -> list[str]:
             problems.append(f"unbalanced B/E stack on track {track}: depth {depth}")
     if not any(e.get("ph") == "b" for e in events):
         problems.append("no span events at all")
+
+    # Causal edge checks: only when the trace carries flow events.
+    if flow_balance:
+        for key, (starts, finishes) in sorted(flow_balance.items()):
+            if starts != 1 or finishes != 1:
+                problems.append(
+                    f"flow {key}: {starts} 's' / {finishes} 'f' (want 1/1)"
+                )
+        for eid, (index, parent) in sorted(flow_parents.items()):
+            if parent and parent not in flow_eids:
+                problems.append(
+                    f"event {index}: dangling causal parent {parent} (eid {eid})"
+                )
+        # Cycle check over parent chains.  Event ids the exporter writes
+        # strictly decrease along parents, but a hand-edited or buggy
+        # trace could loop; walk every chain once with memoisation.
+        done: set[int] = set()
+        for eid in flow_parents:
+            if eid in done:
+                continue
+            seen: set[int] = set()
+            cursor = eid
+            while cursor in flow_parents and cursor not in done:
+                if cursor in seen:
+                    problems.append(f"causal cycle through eid {cursor}")
+                    break
+                seen.add(cursor)
+                cursor = flow_parents[cursor][1]
+            done.update(seen)
     return problems
 
 
